@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation studies of this reproduction's own design choices — the
+ * knobs DESIGN.md calls out — showing how sensitive the headline
+ * results are to each:
+ *
+ *  (a) node power budget vs the discovered best-mean configuration,
+ *  (b) interposer link width vs the Fig. 7 chiplet penalty,
+ *  (c) NUMA-aware page placement vs out-of-chiplet traffic,
+ *  (d) external-interface bandwidth vs the Fig. 8 miss penalty.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/chiplet_study.hh"
+#include "core/dse.hh"
+#include "core/studies.hh"
+#include "util/table.hh"
+
+using namespace ena;
+
+int
+main()
+{
+    bench::banner("Ablations (extension)",
+                  "Sensitivity of the headline results to this "
+                  "reproduction's design choices.");
+
+    const NodeEvaluator &eval = bench::evaluator();
+
+    // ---- (a) power budget ---------------------------------------------
+    std::cout << "(a) Node power budget vs discovered best-mean "
+                 "configuration:\n";
+    TextTable a({"budget (W)", "best-mean config", "geomean TF"});
+    for (double budget : {140.0, 150.0, 160.0, 170.0, 180.0}) {
+        DesignSpaceExplorer dse(eval, DseGrid::paperGrid(), budget);
+        NodeConfig best = dse.findBestMean(PowerOptConfig::none());
+        a.row()
+            .add(budget, "%.0f")
+            .add(best.label())
+            .add(eval.geomeanFlops(best) / 1e12, "%.2f");
+    }
+    bench::show(a, "ablation_budget");
+
+    // ---- (b) latency tolerance -----------------------------------------
+    std::cout << "\n(b) Chiplet penalty (XSBench) vs latency tolerance "
+                 "(wavefronts per CU):\n";
+    ChipletStudy study;
+    TextTable b({"latency tolerance", "perf vs monolithic (%)"});
+    // The chiplet penalty is a latency effect; the wavefront count per
+    // CU sets how much of the extra interposer latency can be hidden.
+    for (int wf : {4, 8, 12}) {
+        ChipletStudyParams p = ChipletStudyParams::forApp(App::XSBench);
+        p.wavefrontsPerCu = wf;
+        Fig7Row row = study.compare(App::XSBench, p);
+        b.row()
+            .add(strformat("%d wavefronts/CU", wf))
+            .add(row.perfVsMonolithicPct, "%.1f");
+    }
+    bench::show(b, "ablation_latency_tolerance");
+
+    // ---- (c) NUMA placement --------------------------------------------
+    std::cout << "\n(c) Out-of-chiplet traffic vs NUMA-aware page "
+                 "placement (CoMD):\n";
+    TextTable c({"local placement", "remote traffic (%)",
+                 "perf vs monolithic (%)"});
+    for (double frac : {0.0, 0.25, 0.5, 0.75}) {
+        ChipletStudyParams p = ChipletStudyParams::forApp(App::CoMD);
+        p.localPlacementFrac = frac;
+        Fig7Row row = study.compare(App::CoMD, p);
+        c.row()
+            .add(frac, "%.2f")
+            .add(row.remoteTrafficPct, "%.1f")
+            .add(row.perfVsMonolithicPct, "%.1f");
+    }
+    bench::show(c, "ablation_numa");
+
+    // ---- (d) external interface bandwidth ------------------------------
+    std::cout << "\n(d) Fig. 8 penalty at 40% miss rate vs external "
+                 "interface bandwidth (CoMD):\n";
+    TextTable d({"per-interface GB/s", "perf vs no misses"});
+    for (double gbs : {50.0, 100.0, 200.0, 400.0}) {
+        NodeConfig cfg = bench::bestMean();
+        cfg.ext.interfaceGbs = gbs;
+        MissRateStudy miss(eval, cfg);
+        auto series = miss.run(App::CoMD, {0.4});
+        d.row()
+            .add(gbs, "%.0f")
+            .add(series.points[0].normPerf, "%.3f");
+    }
+    bench::show(d, "ablation_ext_bandwidth");
+
+    // ---- (e) NoC model fidelity ----------------------------------------
+    std::cout << "\n(e) Virtual-circuit vs detailed (buffered, "
+                 "XY-routed) interposer model (Fig. 7,\nXSBench):\n";
+    TextTable e({"NoC model", "perf vs monolithic (%)",
+                 "remote traffic (%)"});
+    {
+        ChipletStudyParams p = ChipletStudyParams::forApp(App::XSBench);
+        Fig7Row vc = study.compare(App::XSBench, p);
+        p.detailedNoc = true;
+        Fig7Row det = study.compare(App::XSBench, p);
+        e.row()
+            .add("virtual circuit")
+            .add(vc.perfVsMonolithicPct, "%.1f")
+            .add(vc.remoteTrafficPct, "%.1f");
+        e.row()
+            .add("detailed router")
+            .add(det.perfVsMonolithicPct, "%.1f")
+            .add(det.remoteTrafficPct, "%.1f");
+    }
+    bench::show(e, "ablation_noc_fidelity");
+
+    std::cout << "\nTakeaways: the 320/1000/3 optimum is stable for "
+                 "budgets near 160 W and shifts with\nthe budget as "
+                 "expected; latency tolerance (wavefronts) governs the "
+                 "chiplet penalty;\nNUMA placement directly trades "
+                 "remote traffic; the external-interface bandwidth\nis "
+                 "the first-order control on miss-rate sensitivity.\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 14: MaxFlops performance (system exaflops) and power (system MW)
+ * as the per-node CU count scales, at 1 GHz and 1 TB/s, projected to
+ * the 100,000-node exascale machine (paper Section V-F).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/studies.hh"
+#include "util/table.hh"
+
+using namespace ena;
+
+int
+main()
+{
+    bench::banner("Figure 14",
+                  "MaxFlops performance and power scaling with CU "
+                  "count (1 GHz, 1 TB/s, 100,000\nnodes; power is the "
+                  "processor-package peak-compute scenario).");
+
+    ExascaleProjector proj(bench::evaluator());
+    auto points = proj.sweepCus({192, 224, 256, 288, 320});
+
+    TextTable t({"CUs per ENA node", "Exaflops", "Power (MW)",
+                 "node TF", "node W"});
+    for (const ExascalePoint &p : points) {
+        t.row()
+            .add(p.cus)
+            .add(p.systemExaflops, "%.2f")
+            .add(p.systemMw, "%.1f")
+            .add(p.systemExaflops * 1e6 / proj.nodes(), "%.2f")
+            .add(p.systemMw * 1e6 / proj.nodes(), "%.1f");
+    }
+    bench::show(t, "fig14_exascale");
+
+    std::cout << "\nPaper findings: linear scaling with CU count; at "
+                 "320 CUs per node the system\nreaches ~1.86 "
+                 "double-precision exaflops (18.6 TF/node) at ~11.1 MW "
+                 "in the\npeak-compute scenario.\n";
+    return 0;
+}

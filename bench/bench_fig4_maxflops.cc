@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Fig. 4: MaxFlops performance vs ops-per-byte (compute-intensive:
+ * linear in compute, insensitive to bandwidth).
+ */
+
+#include "bench_opb_sweep.hh"
+
+int
+main()
+{
+    return ena::bench::runOpbSweep(ena::App::MaxFlops, "Figure 4");
+}

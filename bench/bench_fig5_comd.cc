@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Fig. 5: CoMD performance vs ops-per-byte (balanced: rises then
+ * plateaus past a kernel-specific knee).
+ */
+
+#include "bench_opb_sweep.hh"
+
+int
+main()
+{
+    return ena::bench::runOpbSweep(ena::App::CoMD, "Figure 5");
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Fig. 6: LULESH performance vs ops-per-byte (memory-intensive: rises,
+ * then degrades as excess concurrency thrashes the memory system).
+ */
+
+#include "bench_opb_sweep.hh"
+
+int
+main()
+{
+    return ena::bench::runOpbSweep(ena::App::LULESH, "Figure 6");
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 8: performance impact of in-package DRAM miss rates — the
+ * fraction of memory requests serviced by the external-memory network
+ * instead of the in-package 3D DRAM (paper Section V-B).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/studies.hh"
+#include "core/twolevel_study.hh"
+#include "util/table.hh"
+
+using namespace ena;
+
+int
+main()
+{
+    bench::banner("Figure 8",
+                  "Performance vs in-package DRAM miss rate, normalized "
+                  "to no misses,\nat the best-mean configuration " +
+                      bench::bestMean().label() + ".");
+
+    MissRateStudy study(bench::evaluator(), bench::bestMean());
+    auto series = study.run();
+
+    TextTable t({"Application", "0%", "20%", "40%", "60%", "80%",
+                 "100%"});
+    for (const MissRateSeries &s : series) {
+        auto &row = t.row().add(appName(s.app));
+        for (const MissRatePoint &p : s.points)
+            row.add(p.normPerf, "%.3f");
+    }
+    bench::show(t, "fig8_missrate");
+
+    std::cout << "\nCycle-level cross-check (event-driven EHP with the "
+                 "software-managed two-level\nmemory and the external "
+                 "SerDes network behind the L2s; XSBench, scaled "
+                 "machine):\n";
+    TwoLevelStudy twolevel;
+    auto points = twolevel.sweep(App::XSBench, TwoLevelParams{},
+                                 {1.0, 0.5, 0.25, 0.125});
+    TextTable c({"in-package capacity / footprint",
+                 "achieved miss rate", "runtime (us)",
+                 "perf vs full capacity"});
+    for (const TwoLevelPoint &p : points) {
+        c.row()
+            .add(p.capacityFraction, "%.3f")
+            .add(p.achievedMissRate, "%.3f")
+            .add(p.runtimeUs, "%.1f")
+            .add(p.normPerf, "%.3f");
+    }
+    bench::show(c, "fig8_cycle_check");
+
+    std::cout << "\nPaper findings: MaxFlops is flat (almost no memory "
+                 "accesses); other kernels degrade\nwith external "
+                 "accesses; LULESH's irregular accesses make it "
+                 "latency- rather than\nbandwidth-limited on the "
+                 "external path. The cycle-level run shows the same "
+                 "mechanism\nemerging from page placement + SerDes "
+                 "timing rather than from the analytic model.\n";
+    return 0;
+}

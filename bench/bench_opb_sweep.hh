@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared driver for Figs. 4-6: performance of one application versus
+ * ops-per-byte as bandwidth and (a) CU frequency or (b) CU count vary.
+ */
+
+#ifndef ENA_BENCH_BENCH_OPB_SWEEP_HH
+#define ENA_BENCH_BENCH_OPB_SWEEP_HH
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/studies.hh"
+#include "util/table.hh"
+
+namespace ena {
+namespace bench {
+
+inline int
+runOpbSweep(App app, const char *figure)
+{
+    const KernelProfile &profile = profileFor(app);
+    banner(figure,
+           "Performance of " + appName(app) + " (" +
+               categoryName(profile.category) +
+               ") as we vary the bandwidth and (a) CU frequency or "
+               "(b) CU count.\nValues normalized to the best-mean "
+               "configuration " + bestMean().label() + ".");
+
+    OpbSweepStudy study(evaluator(), bestMean());
+    std::vector<double> bws = OpbSweepStudy::paperBandwidths();
+    std::vector<double> freqs = {0.5,  0.6, 0.7, 0.8, 0.9,
+                                 1.0,  1.1, 1.2, 1.3, 1.4, 1.5};
+    std::vector<int> cus = {64,  96,  128, 160, 192, 224,
+                            256, 288, 320, 352, 384};
+
+    auto print_curves = [&](const char *title,
+                            const std::vector<OpbCurve> &curves,
+                            size_t npoints,
+                            const std::string &slug) {
+        std::cout << title << "\n";
+        std::vector<std::string> headers = {"point"};
+        for (const OpbCurve &c : curves)
+            headers.push_back(strformat("%.0fTBps", c.bwTbs));
+        TextTable t(headers);
+        for (size_t i = 0; i < npoints; ++i) {
+            auto &row = t.row();
+            row.add(strformat("x=%.3f..",
+                              curves.front().points[i].opsPerByte));
+            for (const OpbCurve &c : curves) {
+                row.add(strformat("%.3f (x=%.3f)",
+                                  c.points[i].normPerf,
+                                  c.points[i].opsPerByte));
+            }
+        }
+        bench::show(t, slug);
+        std::cout << "\n";
+    };
+
+    auto fa = study.sweepFrequency(app, bws, freqs);
+    std::string base = toLower(appName(app));
+    print_curves("(a) sweeping CU frequency 0.5..1.5 GHz at 320 CUs:",
+                 fa, freqs.size(), "opb_" + base + "_freq");
+
+    auto fb = study.sweepCuCount(app, bws, cus);
+    print_curves("(b) sweeping CU count 64..384 at 1 GHz:", fb,
+                 cus.size(), "opb_" + base + "_cus");
+    return 0;
+}
+
+} // namespace bench
+} // namespace ena
+
+#endif // ENA_BENCH_BENCH_OPB_SWEEP_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * RAS study (paper Section II-A5, quantified): node/system MTTF with
+ * the paper's protection choices, GPU RMT coverage/overhead per
+ * application, the interaction between NTC and soft-error rates, and
+ * the checkpoint/restart efficiency of the 100,000-node machine.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "ras/checkpoint.hh"
+#include "ras/fault_model.hh"
+#include "ras/rmt.hh"
+#include "util/table.hh"
+
+using namespace ena;
+
+int
+main()
+{
+    bench::banner("RAS study (extension)",
+                  "Quantifying the paper's Section II-A5 resiliency "
+                  "discussion: ECC + GPU RMT,\nNTC's soft-error cost, "
+                  "and checkpoint/restart efficiency at 100,000 "
+                  "nodes.");
+
+    NodeConfig cfg = bench::bestMean();
+
+    // ---- protection configurations -----------------------------------
+    struct Variant
+    {
+        const char *name;
+        RasConfig ras;
+    } variants[] = {
+        {"no protection", {false, false, false, 2.0}},
+        {"ECC only", {true, true, false, 2.0}},
+        {"ECC + GPU RMT", {true, true, true, 2.0}},
+    };
+
+    TextTable t({"protection", "node FIT", "node MTTF (yr)",
+                 "system MTTF (h)", "silent fraction"});
+    for (const Variant &v : variants) {
+        FaultModel fm(v.ras);
+        double fit = fm.protectedNodeFit(cfg).total();
+        t.row()
+            .add(v.name)
+            .add(fit, "%.0f")
+            .add(fm.nodeMttfHours(cfg) / 8760.0, "%.1f")
+            .add(fm.systemMttfHours(cfg, cal::numSystemNodes), "%.2f")
+            .add(fm.silentFraction(cfg), "%.3f");
+    }
+    bench::show(t, "ras_protection");
+
+    // ---- RMT coverage/overhead per application ------------------------
+    std::cout << "\nGPU RMT (opportunistic: duplicate into idle CUs):\n";
+    RmtModel rmt;
+    TextTable r({"app", "CU util", "coverage", "slowdown",
+                 "full-RMT slowdown"});
+    for (App app : allApps()) {
+        Activity act = bench::evaluator()
+                           .evaluate(cfg, app)
+                           .perf.activity;
+        RmtOutcome opp = rmt.evaluate(act, RmtPolicy::Opportunistic);
+        RmtOutcome full = rmt.evaluate(act, RmtPolicy::Full);
+        r.row()
+            .add(appName(app))
+            .add(act.cuUtilization, "%.2f")
+            .add(opp.coverage, "%.2f")
+            .add(opp.slowdown, "%.3f")
+            .add(full.slowdown, "%.3f");
+    }
+    bench::show(r, "ras_rmt");
+
+    // ---- NTC vs soft errors -------------------------------------------
+    std::cout << "\nNTC's reliability cost (paper Section VI: power "
+                 "savings that reduce voltage\npotentially increase "
+                 "error rates):\n";
+    FaultModel fm({true, true, true, 2.0});
+    NodeConfig ntc_cfg = cfg;
+    ntc_cfg.opts.ntc = true;
+    TextTable n({"config", "system MTTF (h)"});
+    n.row().add("nominal voltage").add(
+        fm.systemMttfHours(cfg, cal::numSystemNodes), "%.2f");
+    n.row().add("NTC enabled").add(
+        fm.systemMttfHours(ntc_cfg, cal::numSystemNodes), "%.2f");
+    bench::show(n, "ras_ntc");
+
+    // ---- checkpoint/restart -------------------------------------------
+    std::cout << "\nCheckpoint/restart at 100,000 nodes (in-package "
+                 "footprint to I/O nodes):\n";
+    CheckpointModel ckpt;
+    TextTable c({"protection", "interval (min)", "ckpts/day",
+                 "machine efficiency"});
+    for (const Variant &v : variants) {
+        FaultModel f(v.ras);
+        CheckpointPlan plan =
+            ckpt.plan(f.systemMttfHours(cfg, cal::numSystemNodes));
+        c.row()
+            .add(v.name)
+            .add(plan.intervalS / 60.0, "%.1f")
+            .add(plan.checkpointsPerDay, "%.1f")
+            .add(plan.efficiency, "%.3f");
+    }
+    bench::show(c, "ras_checkpoint");
+
+    std::cout << "\nPaper context: RAS is a first-class constraint; ECC "
+                 "covers the arrays, software RMT\nuses idle GPU "
+                 "resources for logic coverage, and the machine must "
+                 "keep user-visible\ninterruptions to about a week.\n";
+    return 0;
+}

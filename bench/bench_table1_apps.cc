@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table I: application descriptions and kernel categories, plus the
+ * model parameters this reproduction assigns to each proxy app.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "util/table.hh"
+
+using namespace ena;
+
+int
+main()
+{
+    bench::banner("Table I", "Application descriptions (proxy-app "
+                             "catalog and kernel categories)");
+
+    TextTable t({"Category", "Application", "Description"});
+    AppCategory last = AppCategory::MemoryIntensive;
+    bool first = true;
+    for (const KernelProfile &p : allProfiles()) {
+        bool new_cat = first || p.category != last;
+        t.row()
+            .add(new_cat ? categoryName(p.category) : "")
+            .add(appName(p.app))
+            .add(p.description);
+        last = p.category;
+        first = false;
+    }
+    bench::show(t, "table1_catalog");
+
+    std::cout << "\nModel parameters behind each kernel:\n";
+    TextTable m({"Application", "flops/byte", "efficiency", "cu-exp",
+                 "f-exp", "sat BW (TB/s)", "ext traffic", "compress"});
+    for (const KernelProfile &p : allProfiles()) {
+        m.row()
+            .add(appName(p.app))
+            .add(p.arithmeticIntensity, "%.2f")
+            .add(p.computeEfficiency, "%.2f")
+            .add(p.cuScalingExp, "%.2f")
+            .add(p.freqScalingExp, "%.2f")
+            .add(p.maxBandwidthTbs, "%.2f")
+            .add(p.extTrafficFraction, "%.2f")
+            .add(p.compressRatio, "%.2f");
+    }
+    bench::show(m, "table1_model_params");
+    return 0;
+}

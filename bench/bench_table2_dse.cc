@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table II: performance benefit of dynamic resource reconfiguration —
+ * the best application-specific configuration (oracle) vs the static
+ * best-mean configuration, without and with the Section V-E power
+ * optimizations.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/dse.hh"
+#include "util/table.hh"
+
+using namespace ena;
+
+int
+main()
+{
+    const NodeEvaluator &eval = bench::evaluator();
+    DseGrid grid = DseGrid::paperGrid();
+    DesignSpaceExplorer dse(eval, grid, cal::nodePowerBudgetW);
+
+    bench::banner("Table II",
+                  "Performance benefit of dynamic resource "
+                  "reconfiguration over the static\nbest-mean "
+                  "configuration (sweep of " +
+                      std::to_string(grid.size()) +
+                      " configurations x 8 applications under the "
+                      "160 W budget).");
+
+    std::cout << "Best-mean configuration discovered: "
+              << bench::bestMean().label() << "\n\n";
+
+    TextTable t({"Application", "Best App-Specific Config (CUs/MHz/TBps)",
+                 "Benefit w/o Power Opt (%)",
+                 "Benefit w/ Power Opt (%)"});
+    for (const TableIIRow &row : dse.tableII(bench::bestMean())) {
+        t.row()
+            .add(appName(row.app))
+            .add(strformat("%d / %.0f / %.0f", row.bestConfig.cus,
+                           row.bestConfig.freqGhz * 1000.0,
+                           row.bestConfig.bwTbs))
+            .add(row.benefitNoOptPct, "%.1f")
+            .add(row.benefitWithOptPct, "%.1f");
+    }
+    bench::show(t, "table2_dse");
+
+    std::cout << "\nPaper findings: best-mean is 320 CUs / 1000 MHz / "
+                 "3 TB/s; per-application oracle\nreconfiguration gains "
+                 "up to ~54% — memory-intensive kernels back off "
+                 "CU-count x\nfrequency to escape contention, compute-"
+                 "intensive kernels trade bandwidth for\ncompute, and "
+                 "the power optimizations enlarge every benefit.\n";
+    return 0;
+}

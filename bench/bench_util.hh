@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: a banner
+ * that names the paper artifact being regenerated, and cached access to
+ * the DSE results several benches share.
+ */
+
+#ifndef ENA_BENCH_BENCH_UTIL_HH
+#define ENA_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/ena.hh"
+#include "util/table.hh"
+
+namespace ena {
+namespace bench {
+
+inline void
+banner(const std::string &artifact, const std::string &caption)
+{
+    std::cout << "==============================================="
+                 "=====================\n"
+              << "Reproduction of " << artifact << "\n"
+              << caption << "\n"
+              << "==============================================="
+                 "=====================\n\n";
+}
+
+/**
+ * Print a result table; when the ENA_BENCH_CSV_DIR environment
+ * variable names a directory, also write <dir>/<slug>.csv so the
+ * regenerated figures can be plotted directly.
+ */
+inline void
+show(const TextTable &t, const std::string &slug)
+{
+    t.print(std::cout);
+    if (const char *dir = std::getenv("ENA_BENCH_CSV_DIR"))
+        t.writeCsv(std::string(dir) + "/" + slug + ".csv");
+}
+
+/** Evaluator shared by all benches in one process. */
+inline const NodeEvaluator &
+evaluator()
+{
+    static NodeEvaluator eval;
+    return eval;
+}
+
+/** The DSE-discovered best-mean configuration (expected 320/1/3). */
+inline const NodeConfig &
+bestMean()
+{
+    static NodeConfig cfg = discoveredBestMean(evaluator());
+    return cfg;
+}
+
+} // namespace bench
+} // namespace ena
+
+#endif // ENA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Two-level memory walkthrough (paper Sections II-B3 and V-B).
+ *
+ * Drives the MemoryManager with a synthetic access stream shaped by one
+ * application's profile, comparing the software-managed, hardware-cache,
+ * and static-interleave modes' in-package hit rates, then prints the
+ * analytic miss-rate sensitivity (Fig. 8) for the same application.
+ *
+ * Usage: memory_study [APP]
+ */
+
+#include <iostream>
+
+#include "core/ena.hh"
+#include "core/twolevel_study.hh"
+#include "mem/memory_manager.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "workloads/trace_gen.hh"
+
+using namespace ena;
+
+namespace {
+
+/** Drive one manager with a profile-shaped page stream. */
+double
+driveManager(MemMode mode, const KernelProfile &k, std::uint64_t accesses)
+{
+    MemoryManagerParams mp;
+    mp.mode = mode;
+    // Scaled-down capacities that preserve the paper's 1:3 ratio of
+    // in-package to external capacity.
+    mp.inPackageBytes = 64ull << 20;
+    mp.externalBytes = 192ull << 20;
+    mp.epochAccesses = 1u << 14;
+    MemoryManager mgr(mp);
+
+    StreamLayout layout;
+    layout.privateBase = 0;
+    // Footprint scaled into the combined capacity.
+    layout.privateSize = 224ull << 20;
+    TraceGenerator gen(k, layout, 42);
+
+    std::uint64_t seen = 0;
+    while (seen < accesses) {
+        TraceOp op = gen.next();
+        if (op.kind == TraceOp::Kind::Compute)
+            continue;
+        mgr.access(op.addr, op.kind == TraceOp::Kind::Store);
+        ++seen;
+    }
+    return mgr.inPackageHitRate();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    App app = App::LULESH;
+    if (argc > 1)
+        app = appFromName(argv[1]);
+    const KernelProfile &k = profileFor(app);
+
+    std::cout << "Two-level memory management for " << appName(app)
+              << " (" << categoryName(k.category) << ")\n\n";
+
+    TextTable modes({"mode", "in-package hit rate"});
+    modes.row().add("software-managed").add(
+        driveManager(MemMode::SoftwareManaged, k, 400000), "%.3f");
+    modes.row().add("hardware cache").add(
+        driveManager(MemMode::HwCache, k, 400000), "%.3f");
+    modes.row().add("static interleave").add(
+        driveManager(MemMode::StaticInterleave, k, 400000), "%.3f");
+    modes.print(std::cout);
+
+    std::cout << "\nCycle-level comparison at 25% in-package capacity "
+                 "(software-managed vs\nhardware cache vs static "
+                 "interleave), " << appName(app) << ":\n";
+    TwoLevelStudy cycle;
+    TwoLevelParams tp;
+    tp.cusPerChiplet = 2;
+    TextTable cyc({"mode", "achieved miss rate", "runtime (us)"});
+    for (MemMode m : {MemMode::SoftwareManaged, MemMode::HwCache,
+                      MemMode::StaticInterleave}) {
+        tp.mode = m;
+        TwoLevelPoint pt = cycle.run(app, tp, 0.25);
+        const char *name = m == MemMode::SoftwareManaged
+                               ? "software-managed"
+                               : m == MemMode::HwCache
+                                     ? "hardware cache"
+                                     : "static interleave";
+        cyc.row()
+            .add(name)
+            .add(pt.achievedMissRate, "%.3f")
+            .add(pt.runtimeUs, "%.1f");
+    }
+    cyc.print(std::cout);
+
+    NodeEvaluator eval;
+    MissRateStudy study(eval, NodeConfig::bestMean());
+    MissRateSeries series =
+        study.run(app, {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+                        0.9, 1.0});
+    std::cout << "\nPerformance vs in-package miss rate (Fig. 8 model):\n";
+    TextTable t({"miss rate", "perf vs no misses"});
+    for (const MissRatePoint &p : series.points)
+        t.row().add(p.missRate, "%.1f").add(p.normPerf, "%.3f");
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Model probe: full performance + power breakdown of one (config, app)
+ * pair — the raw numbers behind every figure. Useful both as an API
+ * example and for calibration work.
+ *
+ * Usage: model_probe APP CUS FREQ_GHZ BW_TBS [--opt]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/ena.hh"
+
+using namespace ena;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 5) {
+        std::cerr << "usage: model_probe APP CUS FREQ BW [--opt]\n";
+        return 1;
+    }
+    App app = appFromName(argv[1]);
+    NodeConfig cfg;
+    cfg.cus = std::stoi(argv[2]);
+    cfg.freqGhz = std::stod(argv[3]);
+    cfg.bwTbs = std::stod(argv[4]);
+    if (argc > 5 && std::string(argv[5]) == "--opt")
+        cfg.opts = PowerOptConfig::all();
+    cfg.validate();
+
+    NodeEvaluator eval;
+    EvalResult r = eval.evaluate(cfg, app);
+    const PerfResult &p = r.perf;
+    const PowerBreakdown &w = r.power;
+
+    std::cout << appName(app) << " @ " << cfg.label() << "\n\n";
+    std::cout << "perf:\n"
+              << "  peak          " << p.peakFlops / 1e12 << " TF\n"
+              << "  compute rate  " << p.computeRate / 1e12 << " TF\n"
+              << "  memory rate   " << p.memoryRate / 1e12 << " TF\n"
+              << "  achieved      " << p.flops / 1e12 << " TF ("
+              << (p.memoryBound ? "memory" : "compute") << "-bound)\n"
+              << "  ops/byte      " << p.opsPerByte << "\n"
+              << "  traffic       " << p.trafficGbs << " GB/s\n"
+              << "  cu util       " << p.activity.cuUtilization << "\n";
+    std::cout << "power (W):\n"
+              << "  cuDyn         " << w.cuDyn << "\n"
+              << "  cuStatic      " << w.cuStatic << "\n"
+              << "  nocDyn        " << w.nocDyn << "\n"
+              << "  nocStatic     " << w.nocStatic << "\n"
+              << "  hbmDyn        " << w.hbmDyn << "\n"
+              << "  hbmStatic     " << w.hbmStatic << "\n"
+              << "  cpu           " << w.cpu << "\n"
+              << "  sys           " << w.sys << "\n"
+              << "  extMemDyn     " << w.extMemDyn << "\n"
+              << "  extMemStatic  " << w.extMemStatic << "\n"
+              << "  serdesDyn     " << w.serdesDyn << "\n"
+              << "  serdesStatic  " << w.serdesStatic << "\n"
+              << "  package       " << w.packagePower() << "\n"
+              << "  budget scope  " << w.budgetPower() << "\n"
+              << "  total         " << w.total() << "\n";
+    return 0;
+}

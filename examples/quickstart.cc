@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: evaluate one ENA node configuration on every proxy
+ * application and print performance, power, and thermal headroom.
+ *
+ * Usage: quickstart [CUS [FREQ_GHZ [BW_TBS]]]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/ena.hh"
+#include "core/thermal_study.hh"
+#include "util/table.hh"
+
+using namespace ena;
+
+int
+main(int argc, char **argv)
+{
+    NodeConfig cfg = NodeConfig::bestMean();
+    if (argc > 1)
+        cfg.cus = std::stoi(argv[1]);
+    if (argc > 2)
+        cfg.freqGhz = std::stod(argv[2]);
+    if (argc > 3)
+        cfg.bwTbs = std::stod(argv[3]);
+    cfg.validate();
+
+    NodeEvaluator eval;
+    ThermalStudy thermal(eval);
+
+    std::cout << versionString() << "\n";
+    std::cout << "Exascale Node Architecture @ " << cfg.label() << "\n";
+    std::cout << "  peak compute: "
+              << PerfModel::peakFlops(cfg) / 1e12 << " DP teraflops\n";
+    std::cout << "  in-package:   " << cfg.inPackageGb << " GB @ "
+              << cfg.bwTbs << " TB/s\n";
+    std::cout << "  external:     " << cfg.ext.totalGb() << " GB over "
+              << cfg.ext.interfaces << " interfaces\n\n";
+
+    TextTable t({"app", "category", "perf (TF)", "node power (W)",
+                 "perf/W (GF/W)", "peak DRAM (C)"});
+    for (App app : allApps()) {
+        EvalResult r = eval.evaluate(cfg, app);
+        double temp = thermal.peakDramC(cfg, app);
+        t.row()
+            .add(appName(app))
+            .add(categoryName(profileFor(app).category))
+            .add(r.teraflops(), "%.2f")
+            .add(r.power.total(), "%.1f")
+            .add(r.perf.flops / 1e9 / r.power.total(), "%.1f")
+            .add(temp, "%.1f");
+    }
+    t.print(std::cout);
+
+    ExascaleProjector proj(eval);
+    std::cout << "\nAt " << proj.nodes() << " nodes: "
+              << proj.systemExaflops(cfg, App::MaxFlops)
+              << " exaflops (MaxFlops), "
+              << proj.systemMw(cfg, App::MaxFlops)
+              << " MW (package, peak-compute scenario)\n";
+    return 0;
+}

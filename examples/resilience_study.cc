@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Resilience walkthrough: FIT budget of one node, the MTTF math behind
+ * the paper's "user intervention ... on the order of a week", and how
+ * GPU RMT trades idle compute for detection coverage.
+ *
+ * Usage: resilience_study [NODES]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/ena.hh"
+#include "ras/checkpoint.hh"
+#include "ras/fault_model.hh"
+#include "ras/rmt.hh"
+#include "util/table.hh"
+
+using namespace ena;
+
+int
+main(int argc, char **argv)
+{
+    int nodes = cal::numSystemNodes;
+    if (argc > 1)
+        nodes = std::stoi(argv[1]);
+
+    NodeConfig cfg = NodeConfig::bestMean();
+    FaultModel fm({true, true, true, 2.0});
+
+    std::cout << "Per-node FIT budget at " << cfg.label() << " (raw -> "
+              << "after ECC+RMT):\n";
+    FitBreakdown raw = fm.rawNodeFit(cfg);
+    FitBreakdown prot = fm.protectedNodeFit(cfg);
+    TextTable t({"component", "raw FIT", "protected FIT"});
+    t.row().add("CPU logic").add(raw.cpuLogic, "%.0f").add(
+        prot.cpuLogic, "%.1f");
+    t.row().add("GPU logic").add(raw.gpuLogic, "%.0f").add(
+        prot.gpuLogic, "%.1f");
+    t.row().add("SRAM").add(raw.sram, "%.0f").add(prot.sram, "%.1f");
+    t.row().add("in-package DRAM").add(raw.hbm, "%.0f").add(
+        prot.hbm, "%.1f");
+    t.row().add("external DRAM").add(raw.extDram, "%.0f").add(
+        prot.extDram, "%.1f");
+    t.row().add("interconnect").add(raw.interconnect, "%.0f").add(
+        prot.interconnect, "%.1f");
+    t.row().add("total").add(raw.total(), "%.0f").add(prot.total(),
+                                                      "%.1f");
+    t.print(std::cout);
+
+    double sys_mttf = fm.systemMttfHours(cfg, nodes);
+    std::cout << "\nAt " << nodes << " nodes: system MTTF "
+              << strformat("%.2f", sys_mttf) << " h ("
+              << strformat("%.2f", sys_mttf / 24.0) << " days)\n";
+
+    CheckpointModel ckpt;
+    CheckpointPlan plan = ckpt.plan(sys_mttf);
+    std::cout << "Optimal checkpoint interval "
+              << strformat("%.1f", plan.intervalS / 60.0)
+              << " min -> machine efficiency "
+              << strformat("%.1f%%", plan.efficiency * 100.0) << "\n\n";
+
+    std::cout << "RMT on idle GPU resources (opportunistic policy):\n";
+    NodeEvaluator eval;
+    RmtModel rmt;
+    TextTable r({"app", "CU util", "coverage", "slowdown"});
+    for (App app : {App::MaxFlops, App::CoMD, App::LULESH,
+                    App::XSBench}) {
+        Activity act = eval.evaluate(cfg, app).perf.activity;
+        RmtOutcome o = rmt.evaluate(act, RmtPolicy::Opportunistic);
+        r.row()
+            .add(appName(app))
+            .add(act.cuUtilization, "%.2f")
+            .add(o.coverage, "%.2f")
+            .add(o.slowdown, "%.3f");
+    }
+    r.print(std::cout);
+    std::cout << "\nMemory-bound kernels get near-full RMT coverage for "
+                 "almost free; compute-bound\nkernels must pay "
+                 "performance for coverage (the paper's motivation for "
+                 "keeping RAS\nfeatures out of the GPU chiplets).\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Parameter-sweep CLI: evaluate one application along one hardware axis
+ * and print a CSV series to stdout — the scripting workhorse for
+ * co-design studies on top of the analytic models.
+ *
+ * Usage:
+ *   sweep_tool APP AXIS FROM TO STEP [CUS FREQ_GHZ BW_TBS]
+ *
+ *   AXIS is one of: cus | freq | bw
+ *   The optional trailing triple fixes the other axes (defaults to the
+ *   best-mean configuration 320 / 1.0 / 3.0).
+ *
+ * Example:
+ *   sweep_tool lulesh bw 1 7 0.5
+ *   sweep_tool maxflops cus 64 384 32 320 1.0 1.0
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/ena.hh"
+
+using namespace ena;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: sweep_tool APP cus|freq|bw FROM TO STEP "
+                 "[CUS FREQ BW]\n";
+    return 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 6)
+        return usage();
+
+    App app = appFromName(argv[1]);
+    std::string axis = argv[2];
+    double from = std::stod(argv[3]);
+    double to = std::stod(argv[4]);
+    double step = std::stod(argv[5]);
+    if (step <= 0.0 || to < from)
+        return usage();
+    if (axis != "cus" && axis != "freq" && axis != "bw")
+        return usage();
+
+    NodeConfig base = NodeConfig::bestMean();
+    if (argc > 8) {
+        base.cus = std::stoi(argv[6]);
+        base.freqGhz = std::stod(argv[7]);
+        base.bwTbs = std::stod(argv[8]);
+    }
+
+    NodeEvaluator eval;
+    std::cout << "app,axis,value,cus,freq_ghz,bw_tbs,ops_per_byte,"
+                 "teraflops,cu_utilization,traffic_gbs,budget_w,"
+                 "total_w,gflops_per_w,memory_bound\n";
+    for (double v = from; v <= to + 1e-9; v += step) {
+        NodeConfig cfg = base;
+        if (axis == "cus")
+            cfg.cus = static_cast<int>(v);
+        else if (axis == "freq")
+            cfg.freqGhz = v;
+        else
+            cfg.bwTbs = v;
+        cfg.validate();
+        EvalResult r = eval.evaluate(cfg, app);
+        std::cout << appName(app) << "," << axis << "," << v << ","
+                  << cfg.cus << "," << cfg.freqGhz << "," << cfg.bwTbs
+                  << "," << r.perf.opsPerByte << "," << r.teraflops()
+                  << "," << r.perf.activity.cuUtilization << ","
+                  << r.perf.trafficGbs << ","
+                  << r.power.budgetPower() << "," << r.power.total()
+                  << "," << r.perf.flops / 1e9 / r.power.total() << ","
+                  << (r.perf.memoryBound ? 1 : 0) << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * HSA concurrency walkthrough (paper Section II-A1): dependent-kernel
+ * task graphs dispatched through user-mode AQL queues, and why the HSA
+ * dispatch path matters for fine-grained DAGs — the paper's cited
+ * approach for programming the EHP [13].
+ *
+ * Builds a wavefront-pattern DAG (a 2D sweep, SNAP-like) over the 8
+ * GPU chiplets' queues and compares user-mode dispatch latency against
+ * a legacy driver-mediated path.
+ *
+ * Usage: task_graph_scheduling [GRID_N]
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hsa/task_graph.hh"
+#include "sim/simulation.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+using namespace ena;
+
+namespace {
+
+struct RunResult
+{
+    double makespanUs;
+    double criticalPathUs;
+    double efficiency;
+};
+
+/** A 2D wavefront sweep: task (i,j) depends on (i-1,j) and (i,j-1). */
+RunResult
+runSweep(int n, Tick dispatch_latency, Tick kernel_ticks)
+{
+    Simulation sim;
+    AqlQueueParams qp;
+    qp.dispatchLatency = dispatch_latency;
+    qp.ringSlots = static_cast<size_t>(n) * n;
+    std::vector<AqlQueue *> queues;
+    for (int q = 0; q < 8; ++q) {
+        queues.push_back(sim.create<AqlQueue>(
+            strformat("gpu%d.queue", q), qp));
+    }
+    auto *graph = sim.create<TaskGraph>("sweep", queues);
+
+    std::vector<std::vector<TaskId>> grid(
+        n, std::vector<TaskId>(n));
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            std::vector<TaskId> deps;
+            if (i > 0)
+                deps.push_back(grid[i - 1][j]);
+            if (j > 0)
+                deps.push_back(grid[i][j - 1]);
+            // Round-robin the anti-diagonal across chiplets.
+            int agent = (i + j) % 8;
+            grid[i][j] = graph->addTask(kernel_ticks, agent, deps);
+        }
+    }
+
+    sim.initAll();
+    graph->start();
+    sim.run();
+
+    RunResult r;
+    r.makespanUs = static_cast<double>(graph->makespan()) / tickPerUs;
+    r.criticalPathUs =
+        static_cast<double>(graph->criticalPath()) / tickPerUs;
+    r.efficiency = r.criticalPathUs / r.makespanUs;
+    return r;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    int n = 24;
+    if (argc > 1)
+        n = std::stoi(argv[1]);
+
+    const Tick kernel = 5 * tickPerUs;      // 5 us micro-kernels
+    const Tick hsa = 200 * tickPerNs;       // user-mode dispatch
+    const Tick legacy = 8 * tickPerUs;      // driver-mediated launch
+
+    std::cout << "2D wavefront sweep, " << n << "x" << n
+              << " dependent 5-us kernels over 8 GPU queues\n\n";
+
+    RunResult h = runSweep(n, hsa, kernel);
+    RunResult l = runSweep(n, legacy, kernel);
+
+    TextTable t({"dispatch path", "latency", "makespan (us)",
+                 "critical path (us)", "efficiency"});
+    t.row()
+        .add("HSA user-mode queues")
+        .add("200 ns")
+        .add(h.makespanUs, "%.1f")
+        .add(h.criticalPathUs, "%.1f")
+        .add(h.efficiency, "%.2f");
+    t.row()
+        .add("legacy driver launch")
+        .add("8 us")
+        .add(l.makespanUs, "%.1f")
+        .add(l.criticalPathUs, "%.1f")
+        .add(l.efficiency, "%.2f");
+    t.print(std::cout);
+
+    std::cout << "\nHSA speedup on this DAG: "
+              << strformat("%.2fx", l.makespanUs / h.makespanUs)
+              << "\n\nFine-grained dependent kernels are exactly the "
+                 "pattern the EHP's HPC workloads\n(sweeps, AMR, "
+                 "multigrid) produce; cheap user-mode dispatch keeps "
+                 "the critical path\nkernel-bound instead of "
+                 "launch-bound.\n";
+    return 0;
+}

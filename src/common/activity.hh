@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Activity vector: how hard one application drives each node component.
+ *
+ * Produced by the analytic performance model (core::PerfModel) for a
+ * given (NodeConfig, KernelProfile) pair and consumed by the power model
+ * — the same split the paper uses between its performance-scaling models
+ * and its power models.
+ */
+
+#ifndef ENA_COMMON_ACTIVITY_HH
+#define ENA_COMMON_ACTIVITY_HH
+
+namespace ena {
+
+struct Activity
+{
+    /** Achieved fraction of peak GPU flops (0..1). */
+    double cuUtilization = 0.0;
+
+    /** Dynamic CU activity when stalled (clock/idle overhead, 0..1). */
+    double cuIdleActivity = 0.3;
+
+    /** Achieved in-package DRAM traffic (GB/s). */
+    double inPkgTrafficGbs = 0.0;
+
+    /** Achieved external-memory traffic through the SerDes (GB/s). */
+    double extTrafficGbs = 0.0;
+
+    /** Chiplet-interconnect traffic (GB/s), includes coherence. */
+    double nocTrafficGbs = 0.0;
+
+    /** Store fraction of external accesses (drives NVM write energy). */
+    double writeFraction = 0.3;
+
+    /** Application data compressibility on LLC<->memory links (>= 1). */
+    double compressRatio = 1.0;
+
+    /** CPU-side activity (orchestration, serial sections; 0..1). */
+    double cpuActivity = 0.25;
+
+    /** Effective CU dynamic-activity factor. */
+    double
+    cuActivity() const
+    {
+        return cuIdleActivity + (1.0 - cuIdleActivity) * cuUtilization;
+    }
+};
+
+} // namespace ena
+
+#endif // ENA_COMMON_ACTIVITY_HH

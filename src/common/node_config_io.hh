@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Config-file bindings for NodeConfig: load a node description from a
+ * "key = value" Config so examples/tools can be driven by files rather
+ * than code. Unknown keys are rejected to catch typos.
+ *
+ * Recognized keys (all optional; defaults = NodeConfig{}):
+ *
+ *   ehp.cus, ehp.freq_ghz, ehp.bw_tbs, ehp.gpu_chiplets,
+ *   ehp.cpu_chiplets, ehp.cores_per_cpu_chiplet, ehp.in_package_gb,
+ *   extmem.dram_gb, extmem.nvm_gb, extmem.dram_module_gb,
+ *   extmem.nvm_module_gb, extmem.interfaces, extmem.interface_gbs,
+ *   opts.ntc, opts.async_cu, opts.async_router, opts.lp_links,
+ *   opts.compression
+ */
+
+#ifndef ENA_COMMON_NODE_CONFIG_IO_HH
+#define ENA_COMMON_NODE_CONFIG_IO_HH
+
+#include "common/node_config.hh"
+#include "util/config.hh"
+
+namespace ena {
+
+inline NodeConfig
+nodeConfigFromConfig(const Config &cfg)
+{
+    static const char *known[] = {
+        "ehp.cus", "ehp.freq_ghz", "ehp.bw_tbs", "ehp.gpu_chiplets",
+        "ehp.cpu_chiplets", "ehp.cores_per_cpu_chiplet",
+        "ehp.in_package_gb", "extmem.dram_gb", "extmem.nvm_gb",
+        "extmem.dram_module_gb", "extmem.nvm_module_gb",
+        "extmem.interfaces", "extmem.interface_gbs", "opts.ntc",
+        "opts.async_cu", "opts.async_router", "opts.lp_links",
+        "opts.compression",
+    };
+    for (const std::string &key : cfg.keysWithPrefix("")) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            ENA_FATAL("unknown node-config key '", key, "'");
+    }
+
+    NodeConfig n;
+    n.cus = static_cast<int>(cfg.getInt("ehp.cus", n.cus));
+    n.freqGhz = cfg.getDouble("ehp.freq_ghz", n.freqGhz);
+    n.bwTbs = cfg.getDouble("ehp.bw_tbs", n.bwTbs);
+    n.gpuChiplets =
+        static_cast<int>(cfg.getInt("ehp.gpu_chiplets", n.gpuChiplets));
+    n.cpuChiplets =
+        static_cast<int>(cfg.getInt("ehp.cpu_chiplets", n.cpuChiplets));
+    n.coresPerCpuChiplet = static_cast<int>(
+        cfg.getInt("ehp.cores_per_cpu_chiplet", n.coresPerCpuChiplet));
+    n.inPackageGb = cfg.getDouble("ehp.in_package_gb", n.inPackageGb);
+
+    n.ext.dramGb = cfg.getDouble("extmem.dram_gb", n.ext.dramGb);
+    n.ext.nvmGb = cfg.getDouble("extmem.nvm_gb", n.ext.nvmGb);
+    n.ext.dramModuleGb =
+        cfg.getDouble("extmem.dram_module_gb", n.ext.dramModuleGb);
+    n.ext.nvmModuleGb =
+        cfg.getDouble("extmem.nvm_module_gb", n.ext.nvmModuleGb);
+    n.ext.interfaces = static_cast<int>(
+        cfg.getInt("extmem.interfaces", n.ext.interfaces));
+    n.ext.interfaceGbs =
+        cfg.getDouble("extmem.interface_gbs", n.ext.interfaceGbs);
+
+    n.opts.ntc = cfg.getBool("opts.ntc", n.opts.ntc);
+    n.opts.asyncCu = cfg.getBool("opts.async_cu", n.opts.asyncCu);
+    n.opts.asyncRouter =
+        cfg.getBool("opts.async_router", n.opts.asyncRouter);
+    n.opts.lpLinks = cfg.getBool("opts.lp_links", n.opts.lpLinks);
+    n.opts.compression =
+        cfg.getBool("opts.compression", n.opts.compression);
+
+    n.validate();
+    return n;
+}
+
+/** Serialize a NodeConfig back into a Config. */
+inline Config
+nodeConfigToConfig(const NodeConfig &n)
+{
+    Config cfg;
+    cfg.set("ehp.cus", n.cus);
+    cfg.set("ehp.freq_ghz", n.freqGhz);
+    cfg.set("ehp.bw_tbs", n.bwTbs);
+    cfg.set("ehp.gpu_chiplets", n.gpuChiplets);
+    cfg.set("ehp.cpu_chiplets", n.cpuChiplets);
+    cfg.set("ehp.cores_per_cpu_chiplet", n.coresPerCpuChiplet);
+    cfg.set("ehp.in_package_gb", n.inPackageGb);
+    cfg.set("extmem.dram_gb", n.ext.dramGb);
+    cfg.set("extmem.nvm_gb", n.ext.nvmGb);
+    cfg.set("extmem.dram_module_gb", n.ext.dramModuleGb);
+    cfg.set("extmem.nvm_module_gb", n.ext.nvmModuleGb);
+    cfg.set("extmem.interfaces", n.ext.interfaces);
+    cfg.set("extmem.interface_gbs", n.ext.interfaceGbs);
+    cfg.set("opts.ntc", n.opts.ntc);
+    cfg.set("opts.async_cu", n.opts.asyncCu);
+    cfg.set("opts.async_router", n.opts.asyncRouter);
+    cfg.set("opts.lp_links", n.opts.lpLinks);
+    cfg.set("opts.compression", n.opts.compression);
+    return cfg;
+}
+
+} // namespace ena
+
+#endif // ENA_COMMON_NODE_CONFIG_IO_HH

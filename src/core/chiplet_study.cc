@@ -1,0 +1,262 @@
+#include "core/chiplet_study.hh"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cpu/cpu_cluster.hh"
+#include "gpu/compute_unit.hh"
+#include "gpu/dispatcher.hh"
+#include "gpu/gpu_chiplet.hh"
+#include "gpu/mem_stack_endpoint.hh"
+#include "mem/address_map.hh"
+#include "mem/hbm_stack.hh"
+#include "noc/crossbar_network.hh"
+#include "noc/detailed_network.hh"
+#include "noc/interposer_network.hh"
+#include "noc/topology.hh"
+#include "sim/simulation.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+#include <iostream>
+
+namespace ena {
+
+ChipletStudyParams
+ChipletStudyParams::forApp(App app)
+{
+    ChipletStudyParams p;
+    switch (app) {
+      case App::XSBench:
+        // Giant shared lookup tables, random access: no useful NUMA
+        // placement, large footprint.
+        p.localPlacementFrac = 0.0;
+        p.privateBytesPerWf = 2ull << 20;
+        p.sharedBytes = 512ull << 20;
+        break;
+      case App::SNAP:
+        // Structured sweeps: per-rank buffers place well and cache well.
+        p.localPlacementFrac = 0.45;
+        p.privateBytesPerWf = 1ull << 10;
+        p.sharedBytes = 32ull << 20;
+        break;
+      case App::CoMD:
+      case App::CoMDLJ:
+        p.localPlacementFrac = 0.15;
+        p.privateBytesPerWf = 256ull << 10;
+        p.sharedBytes = 128ull << 20;
+        break;
+      case App::LULESH:
+        p.localPlacementFrac = 0.10;
+        p.privateBytesPerWf = 1ull << 20;
+        p.sharedBytes = 256ull << 20;
+        break;
+      case App::MiniAMR:
+        p.localPlacementFrac = 0.20;
+        p.privateBytesPerWf = 512ull << 10;
+        p.sharedBytes = 128ull << 20;
+        break;
+      case App::HPGMG:
+        p.localPlacementFrac = 0.20;
+        p.privateBytesPerWf = 256ull << 10;
+        p.sharedBytes = 128ull << 20;
+        break;
+      case App::MaxFlops:
+        p.localPlacementFrac = 0.25;
+        p.privateBytesPerWf = 32ull << 10;
+        p.sharedBytes = 16ull << 20;
+        break;
+    }
+    return p;
+}
+
+ChipletRunResult
+ChipletStudy::run(App app, const ChipletStudyParams &params,
+                  bool monolithic) const
+{
+    const KernelProfile &profile = profileFor(app);
+    Simulation sim;
+
+    Topology topo = Topology::ehp(params.gpuChiplets, params.cpuClusters);
+
+    Network *network = nullptr;
+    if (monolithic) {
+        CrossbarParams xp;
+        xp.latencyCycles = 3;
+        xp.aggregateBytesPerCycle = 2048.0;  // capacity-rich on-die fabric
+        network = sim.create<CrossbarNetwork>("xbar", topo.nodes().size(),
+                                              xp);
+    } else if (params.detailedNoc) {
+        DetailedParams dn;
+        dn.routerCycles = 2;
+        dn.linkCycles = 1;
+        dn.tsvCycles = 1;
+        dn.linkBytesPerCycle = 256;
+        network = sim.create<DetailedNetwork>("noc", topo, dn);
+    } else {
+        InterposerParams ip;
+        ip.routerCycles = 2;
+        ip.linkCycles = 1;
+        ip.tsvCycles = 1;
+        ip.linkBytesPerCycle = 256;
+        network = sim.create<InterposerNetwork>("noc", topo, ip);
+    }
+
+    // Address layout: shared region at 0, per-chiplet private arenas
+    // above 1 GiB (see Dispatcher).
+    DispatchParams dp;
+    dp.wavefrontsPerCu = params.wavefrontsPerCu;
+    dp.privateBytesPerWf = params.privateBytesPerWf;
+    dp.sharedBytes = params.sharedBytes;
+    dp.seed = params.seed;
+    auto *dispatcher =
+        sim.create<Dispatcher>("dispatch", profile, dp);
+
+    AddressMap addr_map(params.gpuChiplets);
+    for (int c = 0; c < params.gpuChiplets; ++c) {
+        addr_map.addRegion(dispatcher->chipletArenaBase(c),
+                           dispatcher->chipletArenaSize(c), c,
+                           params.localPlacementFrac);
+    }
+
+    // Memory stacks + their network endpoints.
+    HbmParams hbm = HbmParams::forAggregateBandwidth(
+        params.aggregateBwGbs, params.gpuChiplets);
+    std::vector<HbmStack *> stacks;
+    for (int i = 0; i < params.gpuChiplets; ++i) {
+        auto *stack =
+            sim.create<HbmStack>(strformat("hbm%d", i), hbm);
+        stacks.push_back(stack);
+        NodeId node = topo.nodeOf(NodeKind::MemStack, i);
+        sim.create<MemStackEndpoint>(strformat("hbm%d.port", i), node,
+                                     *stack, *network);
+    }
+
+    // GPU chiplets and CUs.
+    GpuChipletParams gp;
+    gp.monolithic = monolithic;
+    std::vector<GpuChiplet *> chiplets;
+    for (int i = 0; i < params.gpuChiplets; ++i) {
+        NodeId node = topo.nodeOf(NodeKind::GpuChiplet, i);
+        auto *chiplet = sim.create<GpuChiplet>(
+            strformat("gpu%d", i), i, node, gp, addr_map, *network);
+        chiplet->setLocalStack(i, stacks[i]);
+        for (int s = 0; s < params.gpuChiplets; ++s) {
+            chiplet->setStackNode(
+                s, topo.nodeOf(NodeKind::MemStack, s));
+        }
+        chiplets.push_back(chiplet);
+
+        ComputeUnitParams cp;
+        cp.wavefrontSlots = params.wavefrontsPerCu;
+        // Latency tolerance follows the kernel's measured MLP derated
+        // by its latency sensitivity (irregular kernels keep fewer
+        // misses in flight), spread across the wavefront slots.
+        double eff_mlp = profile.memLevelParallelism *
+                         (1.0 - profile.latencySensitivity);
+        cp.maxOutstandingPerWf = std::max(
+            params.maxOutstandingPerWf,
+            static_cast<int>(eff_mlp / params.wavefrontsPerCu + 0.5));
+        cp.memOpsPerWavefront = params.memOpsPerWavefront;
+        for (int c = 0; c < params.cusPerChiplet; ++c) {
+            auto *cu = sim.create<ComputeUnit>(
+                strformat("gpu%d.cu%d", i, c), *chiplet, cp);
+            dispatcher->assign(*cu, i);
+        }
+    }
+
+    // CPU clusters (orchestration traffic into the shared region).
+    std::vector<CpuCluster *> cpus;
+    if (params.cpuTraffic) {
+        for (int i = 0; i < params.cpuClusters; ++i) {
+            CpuClusterParams cc;
+            cc.sharedBase = 0;
+            cc.sharedSize = params.sharedBytes;
+            cc.seed = params.seed + 77 + i;
+            NodeId node = topo.nodeOf(NodeKind::CpuCluster, i);
+            auto *cpu = sim.create<CpuCluster>(
+                strformat("cpu%d", i), node, cc, addr_map, *network);
+            for (int s = 0; s < params.gpuChiplets; ++s) {
+                cpu->setStackNode(
+                    s, topo.nodeOf(NodeKind::MemStack, s));
+            }
+            cpus.push_back(cpu);
+        }
+    }
+
+    // Run in slices until the kernel drains.
+    sim.initAll();
+    const Tick slice = 100 * tickPerUs;
+    const int max_slices = 10000;
+    int s = 0;
+    for (; s < max_slices && !dispatcher->allDone(); ++s) {
+        std::uint64_t ran = sim.run(sim.curTick() + slice);
+        if (ran == 0 && !dispatcher->allDone())
+            ENA_FATAL("chiplet study deadlocked for ", appName(app));
+    }
+    if (!dispatcher->allDone())
+        ENA_FATAL("chiplet study did not converge for ", appName(app));
+    for (CpuCluster *cpu : cpus)
+        cpu->quiesce();
+
+    ChipletRunResult r;
+    r.runtimeUs = static_cast<double>(dispatcher->finishTick()) /
+                  tickPerUs;
+    double local = 0.0;
+    double remote = 0.0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l2_misses = 0;
+    for (GpuChiplet *c : chiplets) {
+        local += c->localBytes();
+        remote += c->remoteBytes();
+        l2_hits += c->l2().hits();
+        l2_misses += c->l2().misses();
+    }
+    r.remoteTrafficFrac =
+        (local + remote) > 0.0 ? remote / (local + remote) : 0.0;
+    r.l2HitRate =
+        l2_hits + l2_misses
+            ? static_cast<double>(l2_hits) / (l2_hits + l2_misses)
+            : 0.0;
+    r.meanHops = network->meanHops();
+    r.meanNetLatencyNs = network->meanLatencyNs();
+    double row_hits = 0.0;
+    double row_total = 0.0;
+    for (HbmStack *stack : stacks) {
+        row_hits += stack->rowHitRate() * stack->bytesServed();
+        row_total += stack->bytesServed();
+    }
+    r.hbmRowHitRate = row_total > 0.0 ? row_hits / row_total : 0.0;
+    r.memOps = 0;
+    r.eventsProcessed = sim.eventq().eventsProcessed();
+
+    if (params.dumpStats) {
+        std::cout << "---------- " << appName(app)
+                  << (monolithic ? " (monolithic)" : " (chiplet)")
+                  << " stats ----------\n";
+        sim.stats().dump(std::cout);
+    }
+    return r;
+}
+
+Fig7Row
+ChipletStudy::compare(App app, const ChipletStudyParams &params) const
+{
+    Fig7Row row;
+    row.app = app;
+    row.chiplet = run(app, params, false);
+    row.monolithic = run(app, params, true);
+    row.remoteTrafficPct = row.chiplet.remoteTrafficFrac * 100.0;
+    row.perfVsMonolithicPct =
+        row.monolithic.runtimeUs / row.chiplet.runtimeUs * 100.0;
+    return row;
+}
+
+Fig7Row
+ChipletStudy::compare(App app) const
+{
+    return compare(app, ChipletStudyParams::forApp(app));
+}
+
+} // namespace ena

@@ -1,0 +1,127 @@
+#include "core/dse.hh"
+
+#include <algorithm>
+
+#include "common/calibration.hh"
+#include "util/logging.hh"
+
+namespace ena {
+
+DseGrid
+DseGrid::paperGrid()
+{
+    DseGrid g;
+    for (int c = 192; c <= cal::maxCusPerNode; c += 32)
+        g.cus.push_back(c);
+    g.freqsGhz = {0.7, 0.8, 0.9, 0.925, 1.0, 1.1,
+                  1.2, 1.3, 1.4, 1.5};
+    g.bwsTbs = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+    return g;
+}
+
+DesignSpaceExplorer::DesignSpaceExplorer(const NodeEvaluator &eval,
+                                         DseGrid grid, double budget_w)
+    : eval_(eval), grid_(std::move(grid)), budgetW_(budget_w)
+{
+    if (grid_.size() == 0)
+        ENA_FATAL("empty DSE grid");
+}
+
+template <typename Fn>
+void
+DesignSpaceExplorer::forEachConfig(const PowerOptConfig &opts,
+                                   Fn &&fn) const
+{
+    for (int c : grid_.cus) {
+        for (double f : grid_.freqsGhz) {
+            for (double bw : grid_.bwsTbs) {
+                NodeConfig cfg;
+                cfg.cus = c;
+                cfg.freqGhz = f;
+                cfg.bwTbs = bw;
+                cfg.opts = opts;
+                fn(cfg);
+            }
+        }
+    }
+}
+
+std::vector<DsePoint>
+DesignSpaceExplorer::sweep(const PowerOptConfig &opts) const
+{
+    std::vector<DsePoint> out;
+    out.reserve(grid_.size());
+    forEachConfig(opts, [&](const NodeConfig &cfg) {
+        DsePoint p;
+        p.cfg = cfg;
+        p.geomeanFlops = eval_.geomeanFlops(cfg);
+        p.meanBudgetPowerW = eval_.meanBudgetPower(cfg);
+        p.maxBudgetPowerW = eval_.maxBudgetPower(cfg);
+        p.feasible = p.maxBudgetPowerW <= budgetW_;
+        out.push_back(p);
+    });
+    return out;
+}
+
+NodeConfig
+DesignSpaceExplorer::findBestMean(const PowerOptConfig &opts) const
+{
+    std::optional<DsePoint> best;
+    forEachConfig(opts, [&](const NodeConfig &cfg) {
+        double power = eval_.maxBudgetPower(cfg);
+        if (power > budgetW_)
+            return;
+        double perf = eval_.geomeanFlops(cfg);
+        if (!best || perf > best->geomeanFlops) {
+            best = DsePoint{cfg, perf, eval_.meanBudgetPower(cfg),
+                            power, true};
+        }
+    });
+    if (!best)
+        ENA_FATAL("no feasible configuration under ", budgetW_,
+                  " W budget");
+    return best->cfg;
+}
+
+AppBest
+DesignSpaceExplorer::findBestForApp(App app,
+                                    const PowerOptConfig &opts) const
+{
+    std::optional<AppBest> best;
+    forEachConfig(opts, [&](const NodeConfig &cfg) {
+        EvalResult r = eval_.evaluate(cfg, app);
+        double power = r.power.budgetPower();
+        if (power > budgetW_)
+            return;
+        if (!best || r.perf.flops > best->flops)
+            best = AppBest{cfg, r.perf.flops, power};
+    });
+    if (!best)
+        ENA_FATAL("no feasible configuration for ", appName(app));
+    return *best;
+}
+
+std::vector<TableIIRow>
+DesignSpaceExplorer::tableII(const NodeConfig &best_mean) const
+{
+    std::vector<TableIIRow> rows;
+    for (App app : allApps()) {
+        TableIIRow row;
+        row.app = app;
+
+        double base = eval_.evaluate(best_mean, app).perf.flops;
+
+        AppBest no_opt = findBestForApp(app, PowerOptConfig::none());
+        row.bestConfig = no_opt.cfg;
+        row.benefitNoOptPct = (no_opt.flops / base - 1.0) * 100.0;
+
+        AppBest with_opt = findBestForApp(app, PowerOptConfig::all());
+        row.bestConfigOpt = with_opt.cfg;
+        row.benefitWithOptPct = (with_opt.flops / base - 1.0) * 100.0;
+
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace ena

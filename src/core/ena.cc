@@ -1,0 +1,35 @@
+#include "core/ena.hh"
+
+namespace ena {
+
+const char *
+versionString()
+{
+    return "ena-sim 1.0.0";
+}
+
+NodeConfig
+discoveredBestMean(const NodeEvaluator &eval)
+{
+    static NodeConfig cached = [&] {
+        DesignSpaceExplorer dse(eval, DseGrid::paperGrid(),
+                                cal::nodePowerBudgetW);
+        return dse.findBestMean(PowerOptConfig::none());
+    }();
+    return cached;
+}
+
+NodeConfig
+optimizedBestMean(const NodeEvaluator &eval)
+{
+    static NodeConfig cached = [&] {
+        DesignSpaceExplorer dse(eval, DseGrid::paperGrid(),
+                                cal::nodePowerBudgetW);
+        NodeConfig cfg = dse.findBestMean(PowerOptConfig::all());
+        cfg.opts = PowerOptConfig::all();
+        return cfg;
+    }();
+    return cached;
+}
+
+} // namespace ena

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Umbrella header and convenience facade for ena-sim's analytic stack.
+ *
+ * Typical use (see examples/quickstart.cc):
+ *
+ *   ena::NodeEvaluator eval;
+ *   auto r = eval.evaluate(ena::NodeConfig::bestMean(),
+ *                          ena::App::LULESH);
+ *   std::cout << r.teraflops() << " TF at "
+ *             << r.power.total() << " W\n";
+ */
+
+#ifndef ENA_CORE_ENA_HH
+#define ENA_CORE_ENA_HH
+
+#include "common/activity.hh"
+#include "common/calibration.hh"
+#include "common/node_config.hh"
+#include "core/dse.hh"
+#include "core/node_evaluator.hh"
+#include "core/perf_model.hh"
+#include "core/studies.hh"
+#include "power/node_power.hh"
+#include "power/optimizations.hh"
+#include "workloads/kernel_profile.hh"
+
+namespace ena {
+
+/** Library version string. */
+const char *versionString();
+
+/**
+ * The optimized best-mean configuration (with all Section V-E power
+ * optimizations) as found by the DSE on the paper grid. Computed once
+ * and cached.
+ */
+NodeConfig optimizedBestMean(const NodeEvaluator &eval);
+
+/**
+ * The baseline best-mean configuration as found by the DSE on the paper
+ * grid (expected: 320 CUs / 1 GHz / 3 TB/s). Computed once and cached.
+ */
+NodeConfig discoveredBestMean(const NodeEvaluator &eval);
+
+} // namespace ena
+
+#endif // ENA_CORE_ENA_HH

@@ -1,0 +1,59 @@
+#include "core/node_evaluator.hh"
+
+#include <algorithm>
+
+#include "util/stats_math.hh"
+
+namespace ena {
+
+EvalResult
+NodeEvaluator::evaluate(const NodeConfig &cfg, App app) const
+{
+    const KernelProfile &k = profileFor(app);
+    EvalResult r;
+    r.app = app;
+    r.perf = perfModel_.evaluate(cfg, k);
+    r.power = powerModel_.evaluate(cfg, r.perf.activity);
+    return r;
+}
+
+std::vector<EvalResult>
+NodeEvaluator::evaluateAll(const NodeConfig &cfg) const
+{
+    std::vector<EvalResult> out;
+    out.reserve(allApps().size());
+    for (App app : allApps())
+        out.push_back(evaluate(cfg, app));
+    return out;
+}
+
+double
+NodeEvaluator::meanBudgetPower(const NodeConfig &cfg) const
+{
+    std::vector<double> powers;
+    for (App app : allApps())
+        powers.push_back(evaluate(cfg, app).power.budgetPower());
+    return mean(powers);
+}
+
+double
+NodeEvaluator::maxBudgetPower(const NodeConfig &cfg) const
+{
+    double worst = 0.0;
+    for (App app : allApps()) {
+        worst = std::max(worst,
+                         evaluate(cfg, app).power.budgetPower());
+    }
+    return worst;
+}
+
+double
+NodeEvaluator::geomeanFlops(const NodeConfig &cfg) const
+{
+    std::vector<double> perfs;
+    for (App app : allApps())
+        perfs.push_back(evaluate(cfg, app).perf.flops);
+    return geomean(perfs);
+}
+
+} // namespace ena

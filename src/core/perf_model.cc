@@ -1,0 +1,153 @@
+#include "core/perf_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/calibration.hh"
+#include "util/logging.hh"
+#include "util/stats_math.hh"
+#include "util/units.hh"
+
+namespace ena {
+
+namespace {
+
+/** Reference point for the scaling-taxonomy exponents. */
+constexpr double refCus = 320.0;
+constexpr double refGhz = 1.0;
+
+/** Smooth-min norm: gives the rounded roofline knees of Figs. 4-6. */
+constexpr double rooflineNorm = 8.0;
+
+/** NoC traffic amplification over DRAM traffic (coherence, replies). */
+constexpr double nocAmplification = 1.2;
+
+} // anonymous namespace
+
+double
+PerfModel::peakFlops(const NodeConfig &cfg)
+{
+    return cfg.cus * cfg.freqGhz * units::giga * cal::flopsPerCuClk;
+}
+
+double
+PerfModel::computeRate(const NodeConfig &cfg, const KernelProfile &k)
+{
+    double peak = peakFlops(cfg);
+    double cu_scale =
+        std::pow(cfg.cus / refCus, k.cuScalingExp - 1.0);
+    double f_scale =
+        std::pow(cfg.freqGhz / refGhz, k.freqScalingExp - 1.0);
+    return peak * k.computeEfficiency * cu_scale * f_scale;
+}
+
+double
+PerfModel::contendedBandwidthGbs(const NodeConfig &cfg,
+                                 const KernelProfile &k)
+{
+    // Contention (cache thrash, queueing) builds once the compute
+    // demand outruns the bandwidth the kernel can actually consume:
+    // provisioned bandwidth beyond the kernel's saturation point does
+    // not relieve it, but reducing CU-count x frequency does (this is
+    // what makes Table II's memory-intensive optima pick fewer CUs).
+    double usable = std::min(cfg.bwTbs, k.maxBandwidthTbs) * 1000.0;
+    double opb_eff = cfg.cus * cfg.freqGhz / usable;
+    double over = std::max(0.0, opb_eff - k.contentionKnee);
+    double factor = 1.0 + k.contentionAlpha * over * over;
+    // Thrash saturates: a fully congested memory system still moves a
+    // fraction of its bandwidth (row-buffer and MSHR recycling).
+    return usable / std::min(factor, cal::maxContentionFactor);
+}
+
+double
+PerfModel::memoryRate(double eff_bw_gbs, const KernelProfile &k)
+{
+    return eff_bw_gbs * units::giga * k.arithmeticIntensity;
+}
+
+double
+PerfModel::externalRateGbs(const NodeConfig &cfg, const KernelProfile &k)
+{
+    double eff_mlp = k.memLevelParallelism * (1.0 - k.latencySensitivity);
+    double rt_latency_s =
+        (cal::inPkgLatencyNs + cal::extMemLatencyNs) * units::nano;
+    double littles_gbs =
+        cfg.cus * eff_mlp * cal::memAccessBytes / rt_latency_s /
+        units::giga;
+    return std::min(cfg.ext.aggregateGbs(), littles_gbs);
+}
+
+Activity
+PerfModel::makeActivity(const NodeConfig &cfg, const KernelProfile &k,
+                        double flops, double peak) const
+{
+    Activity a;
+    a.cuUtilization = clamp(flops / peak, 0.0, 1.0);
+    a.cuIdleActivity = k.cuIdleActivity;
+    double traffic_gbs =
+        std::min(flops / k.arithmeticIntensity / units::giga,
+                 cfg.bwTbs * 1000.0);
+    a.inPkgTrafficGbs = traffic_gbs;
+    a.extTrafficGbs = k.extTrafficFraction * traffic_gbs;
+    a.nocTrafficGbs = traffic_gbs * nocAmplification *
+                      (1.0 + 0.5 * k.sharedFraction);
+    a.writeFraction = k.writeFraction;
+    a.compressRatio = k.compressRatio;
+    a.cpuActivity = 0.25;
+    return a;
+}
+
+PerfResult
+PerfModel::evaluate(const NodeConfig &cfg, const KernelProfile &k) const
+{
+    cfg.validate();
+
+    PerfResult r;
+    r.peakFlops = peakFlops(cfg);
+    r.opsPerByte = cfg.opsPerByte();
+    r.computeRate = computeRate(cfg, k);
+
+    // contendedBandwidthGbs() already folds in the kernel's
+    // sustainable-traffic ceiling (Figs. 4-6: curves cluster once
+    // provisioned bandwidth exceeds it).
+    double eff_bw = contendedBandwidthGbs(cfg, k);
+    r.memoryRate = memoryRate(eff_bw, k);
+
+    r.flops = smoothMin(r.computeRate, r.memoryRate, rooflineNorm);
+    r.memoryBound = r.memoryRate < r.computeRate;
+    r.trafficGbs =
+        std::min(r.flops / k.arithmeticIntensity / units::giga,
+                 cfg.bwTbs * 1000.0);
+    r.activity = makeActivity(cfg, k, r.flops, r.peakFlops);
+    return r;
+}
+
+double
+PerfModel::evaluateWithMissRate(const NodeConfig &cfg,
+                                const KernelProfile &k,
+                                double miss_frac) const
+{
+    ENA_ASSERT(miss_frac >= 0.0 && miss_frac <= 1.0,
+               "miss fraction must be in [0,1], got ", miss_frac);
+    cfg.validate();
+
+    double c = computeRate(cfg, k);
+
+    // In-package service rate (as in evaluate()).
+    double b_in = contendedBandwidthGbs(cfg, k);
+
+    // External service rate: SerDes bandwidth or the latency-hiding
+    // limit, whichever is lower — and never better than the in-package
+    // path, which external data must still traverse.
+    double b_ext = std::min(externalRateGbs(cfg, k), b_in);
+
+    // Weighted-harmonic effective bandwidth: each byte takes
+    // (1-m)/b_in + m/b_ext seconds per GB.
+    double inv = (1.0 - miss_frac) / b_in + miss_frac / b_ext;
+    double eff_bw = 1.0 / inv;
+    double m = memoryRate(eff_bw, k);
+
+    return smoothMin(c, m, rooflineNorm);
+}
+
+} // namespace ena

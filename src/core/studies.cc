@@ -1,0 +1,212 @@
+#include "core/studies.hh"
+
+#include "util/logging.hh"
+
+namespace ena {
+
+// --------------------------------------------------------------------
+// OpbSweepStudy
+// --------------------------------------------------------------------
+
+OpbSweepStudy::OpbSweepStudy(const NodeEvaluator &eval,
+                             NodeConfig best_mean)
+    : eval_(eval), bestMean_(best_mean)
+{
+}
+
+std::vector<double>
+OpbSweepStudy::paperBandwidths()
+{
+    return {1.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+}
+
+std::vector<OpbCurve>
+OpbSweepStudy::sweepFrequency(App app, const std::vector<double> &bws,
+                              const std::vector<double> &freqs) const
+{
+    double base = eval_.evaluate(bestMean_, app).perf.flops;
+    std::vector<OpbCurve> curves;
+    for (double bw : bws) {
+        OpbCurve curve;
+        curve.bwTbs = bw;
+        for (double f : freqs) {
+            NodeConfig cfg = bestMean_;
+            cfg.bwTbs = bw;
+            cfg.freqGhz = f;
+            OpbPoint p;
+            p.cfg = cfg;
+            p.opsPerByte = cfg.opsPerByte();
+            p.normPerf = eval_.evaluate(cfg, app).perf.flops / base;
+            curve.points.push_back(p);
+        }
+        curves.push_back(std::move(curve));
+    }
+    return curves;
+}
+
+std::vector<OpbCurve>
+OpbSweepStudy::sweepCuCount(App app, const std::vector<double> &bws,
+                            const std::vector<int> &cus) const
+{
+    double base = eval_.evaluate(bestMean_, app).perf.flops;
+    std::vector<OpbCurve> curves;
+    for (double bw : bws) {
+        OpbCurve curve;
+        curve.bwTbs = bw;
+        for (int c : cus) {
+            NodeConfig cfg = bestMean_;
+            cfg.bwTbs = bw;
+            cfg.cus = c;
+            OpbPoint p;
+            p.cfg = cfg;
+            p.opsPerByte = cfg.opsPerByte();
+            p.normPerf = eval_.evaluate(cfg, app).perf.flops / base;
+            curve.points.push_back(p);
+        }
+        curves.push_back(std::move(curve));
+    }
+    return curves;
+}
+
+// --------------------------------------------------------------------
+// MissRateStudy
+// --------------------------------------------------------------------
+
+MissRateStudy::MissRateStudy(const NodeEvaluator &eval, NodeConfig cfg)
+    : eval_(eval), cfg_(cfg)
+{
+}
+
+MissRateSeries
+MissRateStudy::run(App app, const std::vector<double> &rates) const
+{
+    const KernelProfile &k = profileFor(app);
+    const PerfModel &pm = eval_.perfModel();
+    double base = pm.evaluateWithMissRate(cfg_, k, 0.0);
+    MissRateSeries s;
+    s.app = app;
+    for (double m : rates) {
+        MissRatePoint p;
+        p.missRate = m;
+        p.normPerf = pm.evaluateWithMissRate(cfg_, k, m) / base;
+        s.points.push_back(p);
+    }
+    return s;
+}
+
+std::vector<MissRateSeries>
+MissRateStudy::run() const
+{
+    const std::vector<double> rates = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+    std::vector<MissRateSeries> out;
+    for (App app : allApps())
+        out.push_back(run(app, rates));
+    return out;
+}
+
+// --------------------------------------------------------------------
+// ExternalMemoryStudy
+// --------------------------------------------------------------------
+
+ExternalMemoryStudy::ExternalMemoryStudy(const NodeEvaluator &eval,
+                                         NodeConfig cfg)
+    : eval_(eval), cfg_(cfg)
+{
+}
+
+std::vector<ExtMemBar>
+ExternalMemoryStudy::run() const
+{
+    std::vector<ExtMemBar> bars;
+    const struct
+    {
+        const char *name;
+        ExtMemConfig ext;
+    } configs[] = {
+        {"3D DRAM only", ExtMemConfig::dramOnly()},
+        {"3D DRAM + NVM", ExtMemConfig::hybrid()},
+    };
+    for (const auto &c : configs) {
+        for (App app : allApps()) {
+            NodeConfig cfg = cfg_;
+            cfg.ext = c.ext;
+            ExtMemBar bar;
+            bar.app = app;
+            bar.configName = c.name;
+            bar.power = eval_.evaluate(cfg, app).power;
+            bars.push_back(bar);
+        }
+    }
+    return bars;
+}
+
+// --------------------------------------------------------------------
+// PerfPerWattStudy
+// --------------------------------------------------------------------
+
+PerfPerWattStudy::PerfPerWattStudy(const NodeEvaluator &eval,
+                                   NodeConfig base_cfg, NodeConfig opt_cfg)
+    : eval_(eval), baseCfg_(base_cfg), optCfg_(opt_cfg)
+{
+}
+
+std::vector<PerfPerWattRow>
+PerfPerWattStudy::run() const
+{
+    std::vector<PerfPerWattRow> rows;
+    for (App app : allApps()) {
+        EvalResult base = eval_.evaluate(baseCfg_, app);
+        EvalResult opt = eval_.evaluate(optCfg_, app);
+        PerfPerWattRow row;
+        row.app = app;
+        row.basePerfPerWatt =
+            base.perf.flops / base.power.budgetPower();
+        row.optPerfPerWatt = opt.perf.flops / opt.power.budgetPower();
+        row.improvementPct =
+            (row.optPerfPerWatt / row.basePerfPerWatt - 1.0) * 100.0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+// --------------------------------------------------------------------
+// ExascaleProjector
+// --------------------------------------------------------------------
+
+ExascaleProjector::ExascaleProjector(const NodeEvaluator &eval, int nodes)
+    : eval_(eval), nodes_(nodes)
+{
+    ENA_ASSERT(nodes > 0, "need a positive node count");
+}
+
+double
+ExascaleProjector::systemExaflops(const NodeConfig &cfg, App app) const
+{
+    return eval_.evaluate(cfg, app).perf.flops * nodes_ / 1e18;
+}
+
+double
+ExascaleProjector::systemMw(const NodeConfig &cfg, App app) const
+{
+    return eval_.evaluate(cfg, app).power.packagePower() * nodes_ / 1e6;
+}
+
+std::vector<ExascalePoint>
+ExascaleProjector::sweepCus(const std::vector<int> &cus) const
+{
+    std::vector<ExascalePoint> out;
+    for (int c : cus) {
+        NodeConfig cfg;
+        cfg.cus = c;
+        cfg.freqGhz = 1.0;
+        cfg.bwTbs = 1.0;
+        ExascalePoint p;
+        p.cus = c;
+        p.systemExaflops = systemExaflops(cfg, App::MaxFlops);
+        p.systemMw = systemMw(cfg, App::MaxFlops);
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace ena

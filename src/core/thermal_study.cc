@@ -1,0 +1,51 @@
+#include "core/thermal_study.hh"
+
+#include "util/logging.hh"
+
+namespace ena {
+
+ThermalStudy::ThermalStudy(const NodeEvaluator &eval,
+                           EhpPackageModel model)
+    : eval_(eval), model_(std::move(model))
+{
+}
+
+double
+ThermalStudy::peakDramC(const NodeConfig &cfg, App app) const
+{
+    EvalResult r = eval_.evaluate(cfg, app);
+    return model_.solve(cfg, r.power).peakDramC;
+}
+
+std::vector<ThermalRow>
+ThermalStudy::run(const NodeConfig &best_mean,
+                  const std::vector<TableIIRow> &table2) const
+{
+    std::vector<ThermalRow> rows;
+    for (App app : allApps()) {
+        ThermalRow row;
+        row.app = app;
+        row.bestMeanPeakC = peakDramC(best_mean, app);
+        bool found = false;
+        for (const TableIIRow &t : table2) {
+            if (t.app == app) {
+                row.bestPerAppConfig = t.bestConfig;
+                row.bestPerAppPeakC = peakDramC(t.bestConfig, app);
+                found = true;
+            }
+        }
+        if (!found)
+            ENA_FATAL("table II rows missing app ", appName(app));
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+ThermalStudy::heatMap(const NodeConfig &cfg, App app) const
+{
+    EvalResult r = eval_.evaluate(cfg, app);
+    return model_.heatMap(cfg, r.power);
+}
+
+} // namespace ena

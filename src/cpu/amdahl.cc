@@ -1,0 +1,47 @@
+#include "cpu/amdahl.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ena {
+
+double
+AmdahlModel::speedup(int cores) const
+{
+    ENA_ASSERT(cores >= 1, "need at least one core");
+    double s = split_.serialFraction;
+    double p = 1.0 - s;
+    // Time with one CPU core doing everything: 1 (normalized).
+    // Accelerated: parallel fraction sped up by GPU/core ratio; serial
+    // fraction sped up by overlapping independent serial work across
+    // cores (sub-linear: sqrt).
+    double gpu_ratio =
+        split_.gpuTeraflops * 1e12 / (split_.cpuCoreGflops * 1e9);
+    // Overlapping independent serial work across cores saturates
+    // quickly (limited rank-level parallelism in serial sections).
+    double serial_speedup =
+        std::min(std::sqrt(static_cast<double>(cores)), 6.0);
+    double t = p / gpu_ratio + s / serial_speedup;
+    return 1.0 / t;
+}
+
+double
+AmdahlModel::effectiveTeraflops(int cores) const
+{
+    return speedup(cores) * split_.cpuCoreGflops / 1000.0;
+}
+
+int
+AmdahlModel::coresForDiminishingReturns(double tolerance,
+                                        int max_cores) const
+{
+    double asymptote = speedup(max_cores);
+    for (int c = 1; c <= max_cores; ++c) {
+        if (speedup(c) >= asymptote * (1.0 - tolerance))
+            return c;
+    }
+    return max_cores;
+}
+
+} // namespace ena

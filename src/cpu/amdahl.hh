@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Analytic CPU-side models: Amdahl-style serial/parallel decomposition
+ * used to size the EHP's CPU provisioning (the paper: "the number of CPU
+ * cores was carefully chosen to provision enough single-thread
+ * performance for irregular code sections and legacy applications").
+ */
+
+#ifndef ENA_CPU_AMDAHL_HH
+#define ENA_CPU_AMDAHL_HH
+
+namespace ena {
+
+/** A workload split into serial (CPU) and parallel (GPU) phases. */
+struct PhaseSplit
+{
+    double serialFraction = 0.05;  ///< of total work, runs on the CPU
+    double cpuCoreGflops = 16.0;   ///< per-core effective rate
+    double gpuTeraflops = 18.6;    ///< accelerated-phase rate
+};
+
+class AmdahlModel
+{
+  public:
+    explicit AmdahlModel(PhaseSplit split) : split_(split) {}
+
+    /**
+     * Node-level speedup over a single CPU core when the parallel
+     * fraction runs on the GPU and the serial fraction on @p cores
+     * cores (serial sections use one core; extra cores help only via
+     * overlapping independent ranks, modeled as sqrt scaling).
+     */
+    double speedup(int cores) const;
+
+    /** Effective node flops for a unit of work per second baseline. */
+    double effectiveTeraflops(int cores) const;
+
+    /**
+     * Smallest core count whose speedup is within @p tolerance of the
+     * asymptote (how the 32-core EHP provisioning is justified).
+     */
+    int coresForDiminishingReturns(double tolerance = 0.02,
+                                   int max_cores = 128) const;
+
+  private:
+    PhaseSplit split_;
+};
+
+} // namespace ena
+
+#endif // ENA_CPU_AMDAHL_HH

@@ -1,0 +1,90 @@
+#include "cpu/cpu_cluster.hh"
+
+#include <algorithm>
+
+#include "sim/simulation.hh"
+#include "util/logging.hh"
+
+namespace ena {
+
+CpuCluster::CpuCluster(Simulation &sim, const std::string &name,
+                       NodeId node_id, CpuClusterParams params,
+                       const AddressMap &addr_map, Network &network)
+    : SimObject(sim, name), nodeId_(node_id), params_(params),
+      addrMap_(addr_map), network_(network), rng_(params.seed),
+      issueEvent_([this] { issueNext(); }, name + ".issue"),
+      statAccesses_(sim.stats(), name + ".accesses",
+                    "memory accesses issued"),
+      statBytes_(sim.stats(), name + ".bytes", "request bytes issued")
+{
+    ENA_ASSERT(params_.cores > 0, "CPU cluster needs cores");
+    ENA_ASSERT(params_.sharedSize >= params_.dataBytes,
+               "shared region too small");
+    network_.attach(nodeId_, this);
+}
+
+void
+CpuCluster::setStackNode(int stack_index, NodeId node)
+{
+    if (stackNodes_.size() <= static_cast<size_t>(stack_index))
+        stackNodes_.resize(stack_index + 1, invalidNode);
+    stackNodes_[stack_index] = node;
+}
+
+void
+CpuCluster::startup()
+{
+    // Cluster-level issue rate: cores / accessNsPerCore accesses per ns.
+    schedule(issueEvent_, static_cast<Tick>(params_.accessNsPerCore /
+                                            params_.cores * tickPerNs));
+}
+
+void
+CpuCluster::issueNext()
+{
+    if (quiesced_ ||
+        (params_.maxAccesses && issued_ >= params_.maxAccesses))
+        return;
+
+    std::uint64_t lines = params_.sharedSize / params_.dataBytes;
+    std::uint64_t addr =
+        params_.sharedBase + rng_.below(lines) * params_.dataBytes;
+    bool is_write = rng_.chance(params_.writeFraction);
+
+    int home = addrMap_.stackFor(addr);
+    ENA_ASSERT(home >= 0 &&
+                   home < static_cast<int>(stackNodes_.size()) &&
+                   stackNodes_[home] != invalidNode,
+               "stack ", home, " not wired on ", name());
+
+    Packet pkt;
+    pkt.id = (static_cast<std::uint64_t>(nodeId_) << 48) | nextPktId_++;
+    pkt.src = nodeId_;
+    pkt.dst = stackNodes_[home];
+    pkt.bytes = is_write ? params_.dataBytes : params_.reqBytes;
+    pkt.addr = addr;
+    pkt.isWrite = is_write;
+    pkt.injectTick = curTick();
+    network_.send(pkt);
+
+    ++issued_;
+    ++statAccesses_;
+    statBytes_ += pkt.bytes;
+
+    // Exponential-ish think time around the configured mean.
+    double gap_ns = params_.accessNsPerCore / params_.cores;
+    double jitter = 0.5 + rng_.uniform();
+    schedule(issueEvent_,
+             std::max<Tick>(1, static_cast<Tick>(gap_ns * jitter *
+                                                 tickPerNs)));
+}
+
+void
+CpuCluster::receivePacket(const Packet &pkt)
+{
+    // Responses complete silently; the cluster models open-loop
+    // orchestration traffic rather than a blocking core pipeline.
+    ENA_ASSERT(pkt.isResponse, name(), " received a non-response packet");
+}
+
+} // namespace ena

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * CPU cluster model for the cycle-level EHP simulation.
+ *
+ * The EHP's CPU cores orchestrate GPU work and run serial sections; in
+ * the Fig. 7 study their visible effect is CPU<->memory and CPU<->GPU
+ * traffic crossing the interposer. Each cluster issues pipelined reads
+ * and writes into the shared region with a configurable rate per core,
+ * via the same network/stack path as the GPU chiplets.
+ */
+
+#ifndef ENA_CPU_CPU_CLUSTER_HH
+#define ENA_CPU_CPU_CLUSTER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "noc/network.hh"
+#include "sim/sim_object.hh"
+#include "util/rng.hh"
+
+namespace ena {
+
+struct CpuClusterParams
+{
+    int cores = 16;
+    double accessNsPerCore = 400.0;  ///< mean gap between core accesses
+    double writeFraction = 0.3;
+    std::uint64_t sharedBase = 0;
+    std::uint64_t sharedSize = 64ull << 20;
+    std::uint32_t reqBytes = 16;
+    std::uint32_t dataBytes = 64;
+    std::uint64_t seed = 999;
+    /** Stop issuing after this many accesses (0 = unlimited). */
+    std::uint64_t maxAccesses = 0;
+};
+
+class CpuCluster : public SimObject, public NetworkEndpoint
+{
+  public:
+    CpuCluster(Simulation &sim, const std::string &name, NodeId node_id,
+               CpuClusterParams params, const AddressMap &addr_map,
+               Network &network);
+
+    /** Wire one stack's network node id. */
+    void setStackNode(int stack_index, NodeId node);
+
+    void startup() override;
+
+    void receivePacket(const Packet &pkt) override;
+
+    /** Stop issuing new accesses (the study calls this at kernel end). */
+    void quiesce() { quiesced_ = true; }
+
+    std::uint64_t accessesIssued() const { return issued_; }
+
+  private:
+    void issueNext();
+
+    NodeId nodeId_;
+    CpuClusterParams params_;
+    const AddressMap &addrMap_;
+    Network &network_;
+    Rng rng_;
+    std::vector<NodeId> stackNodes_;
+    std::uint64_t nextPktId_ = 1;
+    std::uint64_t issued_ = 0;
+    bool quiesced_ = false;
+
+    EventFunctionWrapper issueEvent_;
+    StatScalar statAccesses_;
+    StatScalar statBytes_;
+};
+
+} // namespace ena
+
+#endif // ENA_CPU_CPU_CLUSTER_HH

@@ -1,0 +1,101 @@
+#include "cpu/cpu_core.hh"
+
+#include <algorithm>
+
+#include "sim/simulation.hh"
+#include "util/logging.hh"
+
+namespace ena {
+
+namespace {
+
+/** Instructions retired per step event (amortizes event overhead). */
+constexpr std::uint64_t batchSize = 256;
+
+} // anonymous namespace
+
+CpuCore::CpuCore(Simulation &sim, const std::string &name,
+                 CpuCoreParams params, SerialSectionProfile profile,
+                 std::uint64_t seed)
+    : SimObject(sim, name), params_(params), profile_(profile),
+      rng_(seed), l1_(std::make_unique<Cache>(params.l1, seed)),
+      stepEvent_([this] { step(); }, name + ".step"),
+      statRetired_(sim.stats(), name + ".retired",
+                   "instructions retired"),
+      statBranchMisses_(sim.stats(), name + ".branchMisses",
+                        "branch mispredictions"),
+      statL1Misses_(sim.stats(), name + ".l1Misses", "L1 misses")
+{
+    ENA_ASSERT(params_.clockGhz > 0.0, "bad CPU clock");
+    cursor_ = rng_.below(profile_.workingSetBytes / 64) * 64;
+}
+
+void
+CpuCore::execute(std::uint64_t instructions)
+{
+    ENA_ASSERT(instructions > 0, "nothing to execute");
+    ENA_ASSERT(!started_ || done(), "core is already busy");
+    remaining_ = instructions;
+    started_ = true;
+    if (!stepEvent_.scheduled())
+        schedule(stepEvent_, 0);
+}
+
+std::uint64_t
+CpuCore::nextAddress()
+{
+    if (rng_.chance(profile_.spatialLocality)) {
+        cursor_ += 64;
+        if (cursor_ + 64 > profile_.workingSetBytes)
+            cursor_ = 0;
+    } else {
+        cursor_ = rng_.below(profile_.workingSetBytes / 64) * 64;
+    }
+    return cursor_;
+}
+
+void
+CpuCore::step()
+{
+    std::uint64_t batch = std::min(remaining_, batchSize);
+    std::uint64_t batch_cycles = 0;
+    for (std::uint64_t i = 0; i < batch; ++i) {
+        batch_cycles += 1;   // single-issue baseline
+        double roll = rng_.uniform();
+        if (roll < profile_.memFraction) {
+            bool is_write = rng_.chance(profile_.writeFraction);
+            CacheOutcome out = l1_->access(nextAddress(), is_write);
+            if (out.hit) {
+                batch_cycles += params_.l1HitCycles - 1;
+            } else {
+                ++statL1Misses_;
+                batch_cycles += params_.memLatencyCycles;
+            }
+        } else if (roll <
+                   profile_.memFraction + profile_.branchFraction) {
+            if (rng_.chance(profile_.branchMissRate)) {
+                ++statBranchMisses_;
+                batch_cycles += params_.branchMissPenalty;
+            }
+        }
+    }
+
+    remaining_ -= batch;
+    retired_ += batch;
+    statRetired_ += static_cast<double>(batch);
+    cycles_ += batch_cycles;
+
+    if (remaining_ > 0)
+        schedule(stepEvent_, batch_cycles * cycle());
+}
+
+double
+CpuCore::ipc() const
+{
+    return cycles_ > 0
+               ? static_cast<double>(retired_) /
+                     static_cast<double>(cycles_)
+               : 0.0;
+}
+
+} // namespace ena

@@ -1,0 +1,193 @@
+#include "gpu/gpu_chiplet.hh"
+
+#include "sim/simulation.hh"
+#include "util/logging.hh"
+
+namespace ena {
+
+GpuChiplet::GpuChiplet(Simulation &sim, const std::string &name,
+                       int index, NodeId node_id, GpuChipletParams params,
+                       const AddressMap &addr_map, Network &network)
+    : SimObject(sim, name), index_(index), nodeId_(node_id),
+      params_(params), addrMap_(addr_map), network_(network),
+      l2_(std::make_unique<Cache>(params.l2, 7 + index)),
+      statL2Hits_(sim.stats(), name + ".l2Hits", "L2 hits"),
+      statL2Misses_(sim.stats(), name + ".l2Misses", "L2 misses"),
+      statLocalBytes_(sim.stats(), name + ".localBytes",
+                      "post-L2 bytes staying on-chiplet"),
+      statRemoteBytes_(sim.stats(), name + ".remoteBytes",
+                       "post-L2 bytes leaving the chiplet"),
+      statExternalBytes_(sim.stats(), name + ".externalBytes",
+                         "post-L2 bytes serviced off-package")
+{
+    network_.attach(nodeId_, this);
+}
+
+void
+GpuChiplet::setLocalStack(int stack_index, HbmStack *stack)
+{
+    localStackIndex_ = stack_index;
+    localStack_ = stack;
+}
+
+void
+GpuChiplet::setTwoLevelMemory(MemoryManager *manager,
+                              ExternalMemoryNetwork *ext)
+{
+    ENA_ASSERT(manager && ext, "two-level path needs both pieces");
+    memManager_ = manager;
+    extMem_ = ext;
+}
+
+void
+GpuChiplet::setStackNode(int stack_index, NodeId node)
+{
+    if (stackNodes_.size() <= static_cast<size_t>(stack_index))
+        stackNodes_.resize(stack_index + 1, invalidNode);
+    stackNodes_[stack_index] = node;
+}
+
+void
+GpuChiplet::requestMemory(std::uint64_t addr, bool is_write,
+                          Callback done)
+{
+    CacheOutcome l2 = l2_->access(addr, is_write);
+    if (l2.hit) {
+        ++statL2Hits_;
+        eventq().scheduleLambda(
+            curTick() + params_.l2HitCycles * cycle(), std::move(done),
+            "l2 hit");
+        return;
+    }
+    ++statL2Misses_;
+    if (memManager_ &&
+        memManager_->access(addr, is_write) == MemLevel::External) {
+        // Off-package: cross the interposer to an external interface,
+        // then the SerDes chain services the request.
+        statExternalBytes_ += params_.reqBytes + params_.dataBytes;
+        Tick to_edge = 4 * cycle();   // interposer traversal to the I/O
+        Callback cb = std::move(done);
+        std::uint64_t a = addr;
+        bool w = is_write;
+        eventq().scheduleLambda(
+            curTick() + to_edge,
+            [this, a, w, cb = std::move(cb)]() mutable {
+                extMem_->access(a, params_.dataBytes, w, std::move(cb));
+            },
+            "to external interface");
+    } else {
+        sendToStack(addr, is_write, std::move(done));
+    }
+    if (l2.writeback)
+        writeback(l2.victimAddr);
+}
+
+void
+GpuChiplet::sendToStack(std::uint64_t addr, bool is_write, Callback done)
+{
+    int home = addrMap_.stackFor(addr);
+    bool local = home == localStackIndex_;
+
+    std::uint32_t req_bytes =
+        is_write ? params_.dataBytes : params_.reqBytes;
+    std::uint32_t resp_bytes =
+        is_write ? params_.reqBytes : params_.dataBytes;
+
+    if (local) {
+        statLocalBytes_ += req_bytes + resp_bytes;
+    } else {
+        statRemoteBytes_ += req_bytes + resp_bytes;
+    }
+
+    if (local && !params_.monolithic) {
+        // Direct vertical path: TSVs up to the stack, access, TSVs down.
+        ENA_ASSERT(localStack_, "local stack not wired on ", name());
+        Tick tsv = params_.tsvCycles * cycle();
+        Callback cb = std::move(done);
+        HbmStack *stack = localStack_;
+        std::uint64_t a = addr;
+        bool w = is_write;
+        eventq().scheduleLambda(
+            curTick() + tsv,
+            [this, stack, a, w, cb = std::move(cb), tsv]() mutable {
+                stack->access(a, params_.dataBytes, w,
+                              [this, cb = std::move(cb), tsv]() mutable {
+                                  eventq().scheduleLambda(
+                                      curTick() + tsv, std::move(cb),
+                                      "tsv return");
+                              });
+            },
+            "tsv to local stack");
+        return;
+    }
+
+    // Network path (remote stack, or everything in monolithic mode).
+    ENA_ASSERT(home >= 0 &&
+                   home < static_cast<int>(stackNodes_.size()) &&
+                   stackNodes_[home] != invalidNode,
+               "stack ", home, " not wired on ", name());
+    Packet pkt;
+    pkt.id = (static_cast<std::uint64_t>(index_) << 48) | nextPktId_++;
+    pkt.src = nodeId_;
+    pkt.dst = stackNodes_[home];
+    pkt.bytes = req_bytes;
+    pkt.addr = addr;
+    pkt.isWrite = is_write;
+    pkt.injectTick = curTick();
+    pending_[pkt.id] = std::move(done);
+    network_.send(pkt);
+}
+
+void
+GpuChiplet::writeback(std::uint64_t addr)
+{
+    int home = addrMap_.stackFor(addr);
+    bool local = home == localStackIndex_;
+    if (local) {
+        statLocalBytes_ += params_.dataBytes;
+    } else {
+        statRemoteBytes_ += params_.dataBytes;
+    }
+
+    if (local && !params_.monolithic) {
+        ENA_ASSERT(localStack_, "local stack not wired on ", name());
+        HbmStack *stack = localStack_;
+        std::uint64_t a = addr;
+        eventq().scheduleLambda(
+            curTick() + params_.tsvCycles * cycle(),
+            [this, stack, a] {
+                stack->access(a, params_.dataBytes, true, [] {});
+            },
+            "tsv writeback");
+        return;
+    }
+
+    ENA_ASSERT(home >= 0 &&
+                   home < static_cast<int>(stackNodes_.size()) &&
+                   stackNodes_[home] != invalidNode,
+               "stack ", home, " not wired on ", name());
+    Packet pkt;
+    pkt.id = (static_cast<std::uint64_t>(index_) << 48) | nextPktId_++;
+    pkt.src = nodeId_;
+    pkt.dst = stackNodes_[home];
+    pkt.bytes = params_.dataBytes;
+    pkt.addr = addr;
+    pkt.isWrite = true;
+    pkt.needsResponse = false;
+    pkt.injectTick = curTick();
+    network_.send(pkt);
+}
+
+void
+GpuChiplet::receivePacket(const Packet &pkt)
+{
+    ENA_ASSERT(pkt.isResponse, name(), " received a non-response packet");
+    auto it = pending_.find(pkt.id);
+    ENA_ASSERT(it != pending_.end(), name(),
+               " received response for unknown request ", pkt.id);
+    Callback done = std::move(it->second);
+    pending_.erase(it);
+    done();
+}
+
+} // namespace ena

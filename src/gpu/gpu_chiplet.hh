@@ -1,0 +1,124 @@
+/**
+ * @file
+ * One GPU chiplet: compute units, a shared L2, the TSV path to the
+ * 3D-stacked local HBM, and the network port to remote stacks.
+ *
+ * In chiplet mode, L2 misses homed on the local stack take the direct
+ * vertical (TSV) path; remote misses cross the interposer network. In
+ * monolithic mode (the Fig. 7 comparison), every miss uses the flat
+ * crossbar, local or not.
+ */
+
+#ifndef ENA_GPU_GPU_CHIPLET_HH
+#define ENA_GPU_GPU_CHIPLET_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "mem/ext_memory.hh"
+#include "mem/memory_manager.hh"
+#include "mem/cache.hh"
+#include "mem/hbm_stack.hh"
+#include "noc/network.hh"
+#include "sim/sim_object.hh"
+
+namespace ena {
+
+class ComputeUnit;
+
+struct GpuChipletParams
+{
+    double clockGhz = 1.0;
+    CacheParams l2 = {2ull << 20, 64, 16, ReplPolicy::Lru};
+    std::uint32_t l2HitCycles = 24;
+    std::uint32_t tsvCycles = 4;        ///< vertical hop to local stack
+    std::uint32_t reqBytes = 16;        ///< request header
+    std::uint32_t dataBytes = 64;       ///< cache-line payload
+    bool monolithic = false;            ///< flat-crossbar mode
+};
+
+class GpuChiplet : public SimObject, public NetworkEndpoint
+{
+  public:
+    using Callback = std::function<void()>;
+
+    GpuChiplet(Simulation &sim, const std::string &name, int index,
+               NodeId node_id, GpuChipletParams params,
+               const AddressMap &addr_map, Network &network);
+
+    /** The stack physically above this chiplet (chiplet mode's fast
+     *  path); must be set before any traffic flows. */
+    void setLocalStack(int stack_index, HbmStack *stack);
+
+    /** Resolver from stack index to its network node id. */
+    void setStackNode(int stack_index, NodeId node);
+
+    /**
+     * Enable the two-level memory path: post-L2 accesses consult the
+     * memory manager, and pages resident in external memory are
+     * serviced by the external network instead of an HBM stack
+     * (Section II-B3's software-managed mode, cycle-level).
+     */
+    void setTwoLevelMemory(MemoryManager *manager,
+                           ExternalMemoryNetwork *ext);
+
+    /** CU-side memory request (post-L1). */
+    void requestMemory(std::uint64_t addr, bool is_write, Callback done);
+
+    /** Network responses for this chiplet's outstanding requests. */
+    void receivePacket(const Packet &pkt) override;
+
+    int index() const { return index_; }
+    NodeId nodeId() const { return nodeId_; }
+    const Cache &l2() const { return *l2_; }
+
+    double localBytes() const { return statLocalBytes_.value(); }
+    double remoteBytes() const { return statRemoteBytes_.value(); }
+    double externalBytes() const { return statExternalBytes_.value(); }
+
+    /** Fraction of post-L2 traffic that left the chiplet. */
+    double
+    remoteTrafficFraction() const
+    {
+        double total = statLocalBytes_.value() + statRemoteBytes_.value();
+        return total > 0.0 ? statRemoteBytes_.value() / total : 0.0;
+    }
+
+  private:
+    Tick cycle() const { return clockPeriod(params_.clockGhz); }
+
+    /** Send a post-L2 access to its home stack. */
+    void sendToStack(std::uint64_t addr, bool is_write, Callback done);
+
+    /** Fire-and-forget dirty-line writeback. */
+    void writeback(std::uint64_t addr);
+
+    int index_;
+    NodeId nodeId_;
+    GpuChipletParams params_;
+    const AddressMap &addrMap_;
+    Network &network_;
+    std::unique_ptr<Cache> l2_;
+
+    int localStackIndex_ = -1;
+    HbmStack *localStack_ = nullptr;
+    std::vector<NodeId> stackNodes_;
+    MemoryManager *memManager_ = nullptr;
+    ExternalMemoryNetwork *extMem_ = nullptr;
+
+    std::uint64_t nextPktId_ = 1;
+    std::unordered_map<std::uint64_t, Callback> pending_;
+
+    StatScalar statL2Hits_;
+    StatScalar statL2Misses_;
+    StatScalar statLocalBytes_;
+    StatScalar statRemoteBytes_;
+    StatScalar statExternalBytes_;
+};
+
+} // namespace ena
+
+#endif // ENA_GPU_GPU_CHIPLET_HH

@@ -1,0 +1,48 @@
+#include "gpu/mem_stack_endpoint.hh"
+
+#include "sim/simulation.hh"
+#include "util/logging.hh"
+
+namespace ena {
+
+MemStackEndpoint::MemStackEndpoint(Simulation &sim,
+                                   const std::string &name,
+                                   NodeId node_id, HbmStack &stack,
+                                   Network &network,
+                                   std::uint32_t data_bytes,
+                                   std::uint32_t ack_bytes)
+    : SimObject(sim, name), nodeId_(node_id), stack_(stack),
+      network_(network), dataBytes_(data_bytes), ackBytes_(ack_bytes)
+{
+    network_.attach(nodeId_, this);
+}
+
+void
+MemStackEndpoint::receivePacket(const Packet &pkt)
+{
+    ENA_ASSERT(!pkt.isResponse, name(), " received a response packet");
+
+    if (!pkt.needsResponse) {
+        // Posted writeback: just perform the access.
+        stack_.access(pkt.addr, dataBytes_, true, [] {});
+        return;
+    }
+
+    Packet resp;
+    resp.id = pkt.id;
+    resp.src = nodeId_;
+    resp.dst = pkt.src;
+    resp.bytes = pkt.isWrite ? ackBytes_ : dataBytes_;
+    resp.isResponse = true;
+    resp.addr = pkt.addr;
+    resp.isWrite = pkt.isWrite;
+
+    stack_.access(pkt.addr, dataBytes_, pkt.isWrite,
+                  [this, resp] {
+                      Packet r = resp;
+                      r.injectTick = curTick();
+                      network_.send(r);
+                  });
+}
+
+} // namespace ena

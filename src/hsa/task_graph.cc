@@ -1,0 +1,118 @@
+#include "hsa/task_graph.hh"
+
+#include <algorithm>
+
+#include "sim/simulation.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace ena {
+
+TaskGraph::TaskGraph(Simulation &sim, const std::string &name,
+                     std::vector<AqlQueue *> queues)
+    : SimObject(sim, name), queues_(std::move(queues))
+{
+    ENA_ASSERT(!queues_.empty(), "task graph needs at least one queue");
+}
+
+TaskId
+TaskGraph::addTask(Tick duration, int agent, std::vector<TaskId> deps)
+{
+    ENA_ASSERT(!started_, "cannot add tasks after start()");
+    ENA_ASSERT(agent >= 0 && agent < static_cast<int>(queues_.size()),
+               "bad agent index ", agent);
+    TaskNode node;
+    node.id = static_cast<TaskId>(tasks_.size());
+    node.durationTicks = duration;
+    node.agent = agent;
+    for (TaskId d : deps) {
+        ENA_ASSERT(d < node.id, "dependency ", d,
+                   " does not precede task ", node.id,
+                   " (insert in topological order)");
+    }
+    node.deps = std::move(deps);
+    pendingDeps_.push_back(static_cast<int>(node.deps.size()));
+    signals_.push_back(std::make_unique<HsaSignal>(
+        1, strformat("%s.t%u", name().c_str(), node.id)));
+    tasks_.push_back(std::move(node));
+    return tasks_.back().id;
+}
+
+void
+TaskGraph::start()
+{
+    ENA_ASSERT(!started_, "start() called twice");
+    ENA_ASSERT(!tasks_.empty(), "empty task graph");
+    started_ = true;
+    for (const TaskNode &t : tasks_) {
+        if (t.deps.empty())
+            dispatch(t.id);
+    }
+}
+
+void
+TaskGraph::dispatch(TaskId id)
+{
+    TaskNode &t = tasks_[id];
+    AqlPacket pkt;
+    pkt.id = id;
+    pkt.kernelTicks = t.durationTicks;
+    pkt.completion = signals_[id].get();
+    // Completion of the task's signal triggers bookkeeping and
+    // dependents.
+    signals_[id]->waitZero([this, id] { onTaskDone(id); });
+    queues_[t.agent]->submit(pkt);
+}
+
+void
+TaskGraph::onTaskDone(TaskId id)
+{
+    TaskNode &t = tasks_[id];
+    ENA_ASSERT(!t.done, "task ", id, " completed twice");
+    t.done = true;
+    t.finishedAt = curTick();
+    ++completed_;
+    if (completed_ == tasks_.size())
+        finishTick_ = curTick();
+
+    // Release dependents.
+    for (TaskNode &other : tasks_) {
+        if (other.done)
+            continue;
+        for (TaskId d : other.deps) {
+            if (d == id && --pendingDeps_[other.id] == 0)
+                dispatch(other.id);
+        }
+    }
+}
+
+Tick
+TaskGraph::makespan() const
+{
+    ENA_ASSERT(finished(), "makespan() before the graph finished");
+    return finishTick_;
+}
+
+Tick
+TaskGraph::criticalPath() const
+{
+    std::vector<Tick> longest(tasks_.size(), 0);
+    Tick best = 0;
+    for (const TaskNode &t : tasks_) {
+        Tick start = 0;
+        for (TaskId d : t.deps)
+            start = std::max(start, longest[d]);
+        longest[t.id] = start + t.durationTicks;
+        best = std::max(best, longest[t.id]);
+    }
+    return best;
+}
+
+const TaskNode &
+TaskGraph::task(TaskId id) const
+{
+    ENA_ASSERT(id < tasks_.size(), "bad task id ", id);
+    return tasks_[id];
+}
+
+} // namespace ena

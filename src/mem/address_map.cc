@@ -1,0 +1,51 @@
+#include "mem/address_map.hh"
+
+#include "util/logging.hh"
+
+namespace ena {
+
+AddressMap::AddressMap(int num_stacks, std::uint64_t page_bytes)
+    : numStacks_(num_stacks), pageBytes_(page_bytes)
+{
+    ENA_ASSERT(num_stacks > 0, "need at least one stack");
+    ENA_ASSERT(page_bytes > 0, "need a positive page size");
+}
+
+void
+AddressMap::addRegion(std::uint64_t base, std::uint64_t size, int owner,
+                      double local_frac)
+{
+    ENA_ASSERT(owner >= 0 && owner < numStacks_, "bad owner stack ",
+               owner);
+    ENA_ASSERT(local_frac >= 0.0 && local_frac <= 1.0,
+               "bad locality fraction ", local_frac);
+    regions_.push_back({base, size, owner, local_frac});
+}
+
+std::uint64_t
+AddressMap::hashPage(std::uint64_t page)
+{
+    // SplitMix64 finalizer: decorrelates page number from placement.
+    std::uint64_t z = page + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+int
+AddressMap::stackFor(std::uint64_t addr) const
+{
+    std::uint64_t page = addr / pageBytes_;
+    for (const Region &r : regions_) {
+        if (addr >= r.base && addr < r.base + r.size) {
+            double u = static_cast<double>(hashPage(page) >> 11) *
+                       0x1.0p-53;
+            if (u < r.localFrac)
+                return r.owner;
+            break;
+        }
+    }
+    return static_cast<int>(page % numStacks_);
+}
+
+} // namespace ena

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cache-line compression for DRAM-traffic reduction (paper Section
+ * V-E: "apply data compression to the network messages" between the
+ * LLC and in-package memory).
+ *
+ * Implements the two classic hardware-friendly schemes:
+ *
+ *  - FPC (Frequent Pattern Compression, Alameldeen & Wood): each
+ *    32-bit word is matched against a small pattern table (zero,
+ *    sign-extended 4/8/16-bit, halfword padded, repeated byte) with a
+ *    3-bit prefix per word;
+ *  - BDI (Base-Delta-Immediate, Pekhimenko et al.): the line is
+ *    encoded as one base plus small deltas, trying
+ *    (base, delta) sizes of (8,1), (8,2), (8,4), (4,1), (4,2), (2,1),
+ *    plus the zero-line and repeated-value special cases.
+ *
+ * A SyntheticData generator produces cache lines with the value
+ * locality characteristic of each proxy application (smooth fp64
+ * fields, index arrays, random lookup tables), and
+ * TrafficCompressionModel measures the achieved ratios — the mechanism
+ * behind the per-application compressRatio the power model consumes.
+ */
+
+#ifndef ENA_MEM_COMPRESSION_HH
+#define ENA_MEM_COMPRESSION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/rng.hh"
+#include "workloads/kernel_profile.hh"
+
+namespace ena {
+
+/** One 64-byte cache line. */
+using CacheLine = std::array<std::uint8_t, 64>;
+
+enum class CompressScheme
+{
+    Fpc,
+    Bdi,
+    Best,   ///< min(FPC, BDI), as a dual-scheme encoder would pick
+};
+
+class LineCompressor
+{
+  public:
+    /** Compressed size in bytes (<= 64; 64 means incompressible). */
+    static size_t compressedSize(const CacheLine &line,
+                                 CompressScheme scheme);
+
+    /** FPC: 3-bit prefix per 32-bit word plus pattern payloads. */
+    static size_t fpcSize(const CacheLine &line);
+
+    /** BDI: best of the base+delta encodings and special cases. */
+    static size_t bdiSize(const CacheLine &line);
+
+    /** Ratio 64 / compressedSize (>= 1). */
+    static double
+    ratio(const CacheLine &line, CompressScheme scheme)
+    {
+        return 64.0 / static_cast<double>(compressedSize(line, scheme));
+    }
+};
+
+/** Kinds of application data (what the lines hold). */
+enum class DataKind
+{
+    ZeroFill,       ///< freshly allocated / cleared buffers
+    SmoothField,    ///< fp64 PDE fields: neighbors differ slightly
+    IndexArray,     ///< 32-bit connectivity / neighbor lists
+    RandomTable,    ///< high-entropy lookup tables (XSBench cross
+                    ///< sections)
+    Mixed,          ///< structs of the above
+};
+
+/** Generates cache lines with a given value-locality character. */
+class SyntheticData
+{
+  public:
+    explicit SyntheticData(std::uint64_t seed = 99) : rng_(seed) {}
+
+    CacheLine line(DataKind kind);
+
+  private:
+    Rng rng_;
+};
+
+class TrafficCompressionModel
+{
+  public:
+    /**
+     * Mean compression ratio of @p samples lines drawn from the data
+     * mix characteristic of @p app.
+     */
+    double measureRatio(App app, CompressScheme scheme,
+                        int samples = 2000,
+                        std::uint64_t seed = 7) const;
+
+    /** The data-kind mix this model assumes for an application. */
+    static DataKind dominantKind(App app);
+};
+
+} // namespace ena
+
+#endif // ENA_MEM_COMPRESSION_HH

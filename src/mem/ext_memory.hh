@@ -1,0 +1,100 @@
+/**
+ * @file
+ * External-memory network timing model (Section II-B2).
+ *
+ * The EHP exposes several external-memory interfaces; each interface
+ * drives a chain of memory modules (DRAM or NVM) connected by
+ * point-to-point SerDes links (Hybrid-Memory-Cube style). Latency grows
+ * with chain depth; interface bandwidth is shared by the modules behind
+ * it. Addresses interleave across interfaces, then across the modules
+ * of a chain by capacity.
+ */
+
+#ifndef ENA_MEM_EXT_MEMORY_HH
+#define ENA_MEM_EXT_MEMORY_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/node_config.hh"
+#include "sim/sim_object.hh"
+
+namespace ena {
+
+/** Device technology of one module. */
+enum class ExtMemTech
+{
+    Dram,
+    Nvm,
+};
+
+struct ExtMemTiming
+{
+    double serdesHopNs = 8.0;       ///< per link traversal (one way)
+    double dramAccessNs = 60.0;
+    double nvmReadNs = 150.0;
+    double nvmWriteNs = 500.0;
+    double interfaceGbs = 80.0;     ///< per-interface bandwidth
+};
+
+class ExternalMemoryNetwork : public SimObject
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Build chains from an ExtMemConfig: DRAM modules first (closest to
+     * the package), NVM modules appended at the chain tails, spread
+     * round-robin across interfaces.
+     */
+    ExternalMemoryNetwork(Simulation &sim, const std::string &name,
+                          const ExtMemConfig &cfg,
+                          ExtMemTiming timing = {});
+
+    /** Issue one access; @p done runs at completion. */
+    void access(std::uint64_t addr, std::uint32_t bytes, bool is_write,
+                Callback done);
+
+    /** Chain position (0-based) of the module an address maps to. */
+    int chainDepthOf(std::uint64_t addr) const;
+
+    /** Technology of the module an address maps to. */
+    ExtMemTech techOf(std::uint64_t addr) const;
+
+    int numInterfaces() const { return static_cast<int>(chains_.size()); }
+    int totalModules() const;
+
+    double bytesServed() const { return statBytes_.value(); }
+    double nvmAccesses() const { return statNvmAccesses_.value(); }
+
+  private:
+    struct Module
+    {
+        ExtMemTech tech;
+        double capacityGb;
+    };
+
+    struct Chain
+    {
+        std::vector<Module> modules;
+        Tick busyUntil = 0;        ///< interface-link horizon
+        double capacityGb = 0.0;
+    };
+
+    /** Locate (chain, module) for an address. */
+    void locate(std::uint64_t addr, int &chain, int &module) const;
+
+    ExtMemTiming timing_;
+    std::vector<Chain> chains_;
+    std::uint64_t interleaveBytes_ = 1ull << 20;   ///< 1 MiB stripes
+
+    StatScalar statReads_;
+    StatScalar statWrites_;
+    StatScalar statBytes_;
+    StatScalar statNvmAccesses_;
+    StatDistribution statLatency_;
+};
+
+} // namespace ena
+
+#endif // ENA_MEM_EXT_MEMORY_HH

@@ -1,0 +1,54 @@
+#include "noc/crossbar_network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/simulation.hh"
+#include "util/logging.hh"
+
+namespace ena {
+
+CrossbarNetwork::CrossbarNetwork(Simulation &sim, const std::string &name,
+                                 size_t num_nodes, CrossbarParams params)
+    : Network(sim, name, num_nodes), params_(params),
+      statStallTicks_(sim.stats(), name + ".stallTicks",
+                      "ticks packets waited on fabric capacity")
+{
+    ENA_ASSERT(params_.aggregateBytesPerCycle > 0.0,
+               "zero crossbar capacity");
+}
+
+void
+CrossbarNetwork::send(const Packet &pkt)
+{
+    Tick cycle = clockPeriod(params_.clockGhz);
+
+    // Occupancy charged against the shared aggregate capacity.
+    double cycles_needed =
+        static_cast<double>(pkt.bytes) / params_.aggregateBytesPerCycle;
+    Tick occupancy =
+        std::max<Tick>(1, static_cast<Tick>(
+                              std::ceil(cycles_needed * cycle)));
+
+    Tick depart = std::max(curTick(), busyUntil_);
+    statStallTicks_ += static_cast<double>(depart - curTick());
+    busyUntil_ = depart + occupancy;
+
+    Tick arrival = depart + occupancy + params_.latencyCycles * cycle;
+    recordPacket(pkt, 1);
+    scheduleDelivery(pkt, arrival);
+}
+
+Tick
+CrossbarNetwork::zeroLoadLatency(std::uint32_t bytes) const
+{
+    Tick cycle = clockPeriod(params_.clockGhz);
+    double cycles_needed =
+        static_cast<double>(bytes) / params_.aggregateBytesPerCycle;
+    Tick occupancy =
+        std::max<Tick>(1, static_cast<Tick>(
+                              std::ceil(cycles_needed * cycle)));
+    return occupancy + params_.latencyCycles * cycle;
+}
+
+} // namespace ena

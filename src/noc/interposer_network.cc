@@ -1,0 +1,81 @@
+#include "noc/interposer_network.hh"
+
+#include <algorithm>
+
+#include "sim/simulation.hh"
+#include "util/logging.hh"
+
+namespace ena {
+
+InterposerNetwork::InterposerNetwork(Simulation &sim,
+                                     const std::string &name,
+                                     const Topology &topo,
+                                     InterposerParams params)
+    : Network(sim, name, topo.nodes().size()),
+      topo_(topo), params_(params),
+      statLinkStallTicks_(sim.stats(), name + ".linkStallTicks",
+                          "ticks packets waited on busy links")
+{
+    ENA_ASSERT(params_.linkBytesPerCycle > 0, "zero link width");
+}
+
+Tick
+InterposerNetwork::serialization(std::uint32_t bytes) const
+{
+    // Flit-level occupancy: a 64 B packet on a 256 B/cycle link holds
+    // it for a quarter cycle, not a full one.
+    double cycles = static_cast<double>(bytes) /
+                    params_.linkBytesPerCycle;
+    auto ticks = static_cast<Tick>(cycles * params_.cycle());
+    return std::max<Tick>(ticks, 1);
+}
+
+void
+InterposerNetwork::send(const Packet &pkt)
+{
+    const TopologyNode &src = topo_.node(pkt.src);
+    const TopologyNode &dst = topo_.node(pkt.dst);
+    Tick cycle = params_.cycle();
+    Tick ser = serialization(pkt.bytes);
+
+    // Descend into the interposer.
+    Tick t = curTick() + params_.tsvCycles * cycle;
+
+    std::uint32_t hops = 0;
+    std::uint32_t at = src.router;
+    while (at != dst.router) {
+        std::uint32_t nh = topo_.nextHop(at, dst.router);
+        // Router pipeline, then contend for the directed link.
+        t += params_.routerCycles * cycle;
+        Tick &busy = linkBusy_[{at, nh}];
+        Tick depart = std::max(t, busy);
+        statLinkStallTicks_ += static_cast<double>(depart - t);
+        busy = depart + ser;
+        t = depart + ser + params_.linkCycles * cycle;
+        at = nh;
+        ++hops;
+    }
+
+    // Final router traversal and ascent to the destination chiplet.
+    t += params_.routerCycles * cycle;
+    t += params_.tsvCycles * cycle;
+
+    recordPacket(pkt, hops);
+    scheduleDelivery(pkt, t);
+}
+
+Tick
+InterposerNetwork::zeroLoadLatency(NodeId src_id, NodeId dst_id,
+                                   std::uint32_t bytes) const
+{
+    const TopologyNode &src = topo_.node(src_id);
+    const TopologyNode &dst = topo_.node(dst_id);
+    Tick cycle = params_.cycle();
+    std::uint32_t hops = topo_.hopCount(src.router, dst.router);
+    Tick t = 2 * params_.tsvCycles * cycle;
+    t += (hops + 1) * params_.routerCycles * cycle;
+    t += hops * (serialization(bytes) + params_.linkCycles * cycle);
+    return t;
+}
+
+} // namespace ena

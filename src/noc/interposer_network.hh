@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The chiplet-mode interconnect: packets descend from the source chiplet
+ * to its interposer router through TSVs, traverse router-to-router links
+ * with per-link serialization and contention, and ascend through TSVs to
+ * the destination chiplet/stack — the two extra vertical hops the paper
+ * quantifies in Fig. 7.
+ *
+ * Contention model: each directed link keeps a busy-until horizon; a
+ * packet's hop departs at max(now, busyUntil) and occupies the link for
+ * its serialization time. This "virtual circuit" walk computes the
+ * arrival tick at injection, which is accurate for the open-loop traffic
+ * levels of the Fig. 7 study while keeping event counts low.
+ */
+
+#ifndef ENA_NOC_INTERPOSER_NETWORK_HH
+#define ENA_NOC_INTERPOSER_NETWORK_HH
+
+#include <map>
+#include <utility>
+
+#include "noc/network.hh"
+#include "noc/topology.hh"
+
+namespace ena {
+
+/** Timing/width parameters of the interposer fabric. */
+struct InterposerParams
+{
+    double clockGhz = 1.0;          ///< fabric clock
+    std::uint32_t routerCycles = 2; ///< per-router pipeline latency
+    std::uint32_t linkCycles = 1;   ///< per-link propagation latency
+    std::uint32_t tsvCycles = 1;    ///< per vertical (TSV) transition
+    std::uint32_t linkBytesPerCycle = 256; ///< link width (wide
+                                           ///< interposer paths)
+
+    Tick
+    cycle() const
+    {
+        return clockPeriod(clockGhz);
+    }
+};
+
+class InterposerNetwork : public Network
+{
+  public:
+    InterposerNetwork(Simulation &sim, const std::string &name,
+                      const Topology &topo, InterposerParams params);
+
+    void send(const Packet &pkt) override;
+
+    /** Zero-load latency between two nodes (for tests/inspection). */
+    Tick zeroLoadLatency(NodeId src, NodeId dst,
+                         std::uint32_t bytes) const;
+
+    const Topology &topology() const { return topo_; }
+
+  private:
+    Tick serialization(std::uint32_t bytes) const;
+
+    const Topology &topo_;
+    InterposerParams params_;
+
+    /** busy-until per directed link (from,to). */
+    std::map<std::pair<std::uint32_t, std::uint32_t>, Tick> linkBusy_;
+
+    StatScalar statLinkStallTicks_;
+};
+
+} // namespace ena
+
+#endif // ENA_NOC_INTERPOSER_NETWORK_HH

@@ -1,0 +1,184 @@
+#include "noc/topology.hh"
+
+#include <deque>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace ena {
+
+NodeId
+Topology::addNode(NodeKind kind, std::uint32_t router, std::string name)
+{
+    TopologyNode n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.kind = kind;
+    n.router = router;
+    n.name = std::move(name);
+    nodes_.push_back(n);
+    return n.id;
+}
+
+void
+Topology::addLink(std::uint32_t a, std::uint32_t b)
+{
+    ENA_ASSERT(a != b, "self link on router ", a);
+    links_.push_back({a, b});
+}
+
+Topology
+Topology::ehp(int gpu_chiplets, int cpu_clusters)
+{
+    if (gpu_chiplets < 1 || gpu_chiplets % 2 != 0)
+        ENA_FATAL("EHP topology needs an even GPU chiplet count, got ",
+                  gpu_chiplets);
+    if (cpu_clusters < 0)
+        ENA_FATAL("negative CPU cluster count");
+
+    Topology t;
+    // Two-row package floor plan (Fig. 2): the GPU clusters flank the
+    // central CPU clusters, two chiplet positions deep. Positions are a
+    // 2 x C grid of interposer routers; row-major router ids.
+    int positions = gpu_chiplets + cpu_clusters;
+    if (positions % 2 != 0)
+        ENA_FATAL("EHP topology needs an even position count");
+    int cols = positions / 2;
+    t.numRouters_ = static_cast<std::uint32_t>(positions);
+    t.cols_ = static_cast<std::uint32_t>(cols);
+
+    // Assign positions column-by-column: GPU columns on the left, CPU
+    // column(s) in the middle, GPU columns on the right.
+    int gpu_cols_left = (gpu_chiplets / 2 + 1) / 2;
+    int gpu_idx = 0;
+    int cpu_idx = 0;
+    for (int c = 0; c < cols; ++c) {
+        bool cpu_col = c >= gpu_cols_left &&
+                       cpu_idx + 1 < cpu_clusters + 1 &&
+                       cpu_idx < cpu_clusters;
+        for (int r = 0; r < 2; ++r) {
+            std::uint32_t router =
+                static_cast<std::uint32_t>(r * cols + c);
+            if (cpu_col && cpu_idx < cpu_clusters) {
+                t.addNode(NodeKind::CpuCluster, router,
+                          strformat("cpu%d", cpu_idx++));
+            } else if (gpu_idx < gpu_chiplets) {
+                t.addNode(NodeKind::GpuChiplet, router,
+                          strformat("gpu%d", gpu_idx++));
+            } else {
+                t.addNode(NodeKind::CpuCluster, router,
+                          strformat("cpu%d", cpu_idx++));
+            }
+        }
+    }
+
+    // One memory stack directly above each GPU chiplet.
+    for (int i = 0; i < gpu_chiplets; ++i) {
+        const TopologyNode &gpu = t.node(t.nodeOf(NodeKind::GpuChiplet, i));
+        t.addNode(NodeKind::MemStack, gpu.router, strformat("hbm%d", i));
+    }
+
+    // 2 x C mesh of wide, short point-to-point interposer links.
+    for (int c = 0; c < cols; ++c) {
+        t.addLink(c, cols + c);                 // vertical
+        if (c + 1 < cols) {
+            t.addLink(c, c + 1);                // row 0 horizontal
+            t.addLink(cols + c, cols + c + 1);  // row 1 horizontal
+        }
+    }
+
+    t.computeRoutes();
+    return t;
+}
+
+const TopologyNode &
+Topology::node(NodeId id) const
+{
+    ENA_ASSERT(id < nodes_.size(), "bad node id ", id);
+    return nodes_[id];
+}
+
+NodeId
+Topology::nodeOf(NodeKind kind, int ordinal) const
+{
+    int seen = 0;
+    for (const TopologyNode &n : nodes_) {
+        if (n.kind == kind) {
+            if (seen == ordinal)
+                return n.id;
+            ++seen;
+        }
+    }
+    ENA_FATAL("no node of kind ", static_cast<int>(kind), " ordinal ",
+              ordinal);
+}
+
+std::vector<NodeId>
+Topology::nodesOf(NodeKind kind) const
+{
+    std::vector<NodeId> out;
+    for (const TopologyNode &n : nodes_) {
+        if (n.kind == kind)
+            out.push_back(n.id);
+    }
+    return out;
+}
+
+void
+Topology::computeRoutes()
+{
+    const std::uint32_t unreachable = ~std::uint32_t(0);
+    nextHop_.assign(numRouters_,
+                    std::vector<std::uint32_t>(numRouters_, unreachable));
+    hops_.assign(numRouters_,
+                 std::vector<std::uint32_t>(numRouters_, unreachable));
+
+    // Adjacency list.
+    std::vector<std::vector<std::uint32_t>> adj(numRouters_);
+    for (const TopologyLink &l : links_) {
+        ENA_ASSERT(l.routerA < numRouters_ && l.routerB < numRouters_,
+                   "link references unknown router");
+        adj[l.routerA].push_back(l.routerB);
+        adj[l.routerB].push_back(l.routerA);
+    }
+
+    // BFS from every router; record the first hop toward each source.
+    for (std::uint32_t src = 0; src < numRouters_; ++src) {
+        hops_[src][src] = 0;
+        nextHop_[src][src] = src;
+        std::deque<std::uint32_t> queue{src};
+        while (!queue.empty()) {
+            std::uint32_t at = queue.front();
+            queue.pop_front();
+            for (std::uint32_t nb : adj[at]) {
+                if (hops_[src][nb] != unreachable)
+                    continue;
+                hops_[src][nb] = hops_[src][at] + 1;
+                // First hop from nb toward src is 'at'.
+                nextHop_[nb][src] = at;
+                queue.push_back(nb);
+            }
+        }
+    }
+}
+
+std::uint32_t
+Topology::nextHop(std::uint32_t at, std::uint32_t to) const
+{
+    ENA_ASSERT(at < numRouters_ && to < numRouters_, "bad router id");
+    std::uint32_t nh = nextHop_[at][to];
+    if (nh == ~std::uint32_t(0))
+        ENA_FATAL("router ", to, " unreachable from ", at);
+    return nh;
+}
+
+std::uint32_t
+Topology::hopCount(std::uint32_t from, std::uint32_t to) const
+{
+    ENA_ASSERT(from < numRouters_ && to < numRouters_, "bad router id");
+    std::uint32_t h = hops_[from][to];
+    if (h == ~std::uint32_t(0))
+        ENA_FATAL("router ", to, " unreachable from ", from);
+    return h;
+}
+
+} // namespace ena

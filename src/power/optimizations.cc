@@ -1,0 +1,76 @@
+#include "power/optimizations.hh"
+
+#include "util/logging.hh"
+
+namespace ena {
+
+std::string
+powerOptName(PowerOpt opt)
+{
+    switch (opt) {
+      case PowerOpt::Ntc: return "NTC";
+      case PowerOpt::AsyncCu: return "Async. CUs";
+      case PowerOpt::AsyncRouter: return "Async. routers";
+      case PowerOpt::LpLinks: return "Low-power links";
+      case PowerOpt::Compression: return "Compression";
+      case PowerOpt::All: return "All";
+    }
+    ENA_PANIC("unknown PowerOpt enum value");
+}
+
+const std::vector<PowerOpt> &
+allPowerOpts()
+{
+    static const std::vector<PowerOpt> opts = {
+        PowerOpt::Ntc,         PowerOpt::AsyncCu,
+        PowerOpt::AsyncRouter, PowerOpt::LpLinks,
+        PowerOpt::Compression, PowerOpt::All,
+    };
+    return opts;
+}
+
+PowerOptConfig
+makeOptConfig(PowerOpt opt)
+{
+    PowerOptConfig cfg;
+    switch (opt) {
+      case PowerOpt::Ntc:
+        cfg.ntc = true;
+        break;
+      case PowerOpt::AsyncCu:
+        cfg.asyncCu = true;
+        break;
+      case PowerOpt::AsyncRouter:
+        cfg.asyncRouter = true;
+        break;
+      case PowerOpt::LpLinks:
+        cfg.lpLinks = true;
+        break;
+      case PowerOpt::Compression:
+        cfg.compression = true;
+        break;
+      case PowerOpt::All:
+        cfg = PowerOptConfig::all();
+        break;
+    }
+    return cfg;
+}
+
+std::vector<OptSavings>
+evaluateOptSavings(const NodePowerModel &model, NodeConfig cfg,
+                   const Activity &act)
+{
+    cfg.opts = PowerOptConfig::none();
+    double baseline = model.evaluate(cfg, act).budgetPower();
+
+    std::vector<OptSavings> out;
+    for (PowerOpt opt : allPowerOpts()) {
+        cfg.opts = makeOptConfig(opt);
+        double optimized = model.evaluate(cfg, act).budgetPower();
+        out.push_back({opt, baseline, optimized,
+                       1.0 - optimized / baseline});
+    }
+    return out;
+}
+
+} // namespace ena

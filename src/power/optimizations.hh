@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Power-optimization study helpers (paper Section V-E / Fig. 12): apply
+ * each technique individually and in combination to a node configuration
+ * and report the resulting system-power savings.
+ */
+
+#ifndef ENA_POWER_OPTIMIZATIONS_HH
+#define ENA_POWER_OPTIMIZATIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/activity.hh"
+#include "common/node_config.hh"
+#include "power/node_power.hh"
+
+namespace ena {
+
+/** The individual techniques, in the paper's Fig. 12 legend order. */
+enum class PowerOpt
+{
+    Ntc,
+    AsyncCu,
+    AsyncRouter,
+    LpLinks,
+    Compression,
+    All,
+};
+
+/** Display name for one technique ("NTC", "Async. CUs", ...). */
+std::string powerOptName(PowerOpt opt);
+
+/** All individual techniques plus All, in Fig. 12 order. */
+const std::vector<PowerOpt> &allPowerOpts();
+
+/** PowerOptConfig with exactly one technique (or all) enabled. */
+PowerOptConfig makeOptConfig(PowerOpt opt);
+
+/** Savings of one technique for one (config, activity) pair. */
+struct OptSavings
+{
+    PowerOpt opt;
+    double baselineW;   ///< node budget-scope power without techniques
+    double optimizedW;  ///< with the technique applied
+    double savingsFrac; ///< 1 - optimized/baseline
+};
+
+/**
+ * Evaluate Fig. 12 for one application activity: each technique alone,
+ * then all together. The baseline (cfg.opts cleared) already includes
+ * DVFS, as in the paper.
+ */
+std::vector<OptSavings> evaluateOptSavings(const NodePowerModel &model,
+                                           NodeConfig cfg,
+                                           const Activity &act);
+
+} // namespace ena
+
+#endif // ENA_POWER_OPTIMIZATIONS_HH

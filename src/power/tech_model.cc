@@ -1,0 +1,85 @@
+#include "power/tech_model.hh"
+
+#include "util/logging.hh"
+
+namespace ena {
+
+TechModel::TechModel()
+    : roadmap_({
+          {"28nm", 1.00, 1.00, 1.00, 1.00},
+          {"14nm", 0.62, 0.85, 0.95, 0.52},
+          {"10nm", 0.75, 0.90, 0.97, 0.60},
+          {"7nm", 0.72, 0.92, 0.97, 0.62},
+      })
+{
+}
+
+TechModel::TechModel(std::vector<TechGeneration> roadmap)
+    : roadmap_(std::move(roadmap))
+{
+    if (roadmap_.empty())
+        ENA_FATAL("TechModel requires at least one generation");
+}
+
+size_t
+TechModel::indexOf(const std::string &name) const
+{
+    for (size_t i = 0; i < roadmap_.size(); ++i) {
+        if (roadmap_[i].name == name)
+            return i;
+    }
+    ENA_FATAL("unknown technology node '", name, "'");
+}
+
+double
+TechModel::cumulative(const std::string &from, const std::string &to,
+                      double TechGeneration::*field) const
+{
+    size_t a = indexOf(from);
+    size_t b = indexOf(to);
+    if (a == b)
+        return 1.0;
+    if (a > b)
+        // Backwards projection: invert the forward factors.
+        return 1.0 / cumulative(to, from, field);
+    double scale = 1.0;
+    for (size_t i = a + 1; i <= b; ++i)
+        scale *= roadmap_[i].*field;
+    return scale;
+}
+
+double
+TechModel::capacitanceScale(const std::string &from,
+                            const std::string &to) const
+{
+    return cumulative(from, to, &TechGeneration::capScale);
+}
+
+double
+TechModel::leakageScale(const std::string &from,
+                        const std::string &to) const
+{
+    return cumulative(from, to, &TechGeneration::leakScale);
+}
+
+double
+TechModel::areaScale(const std::string &from, const std::string &to) const
+{
+    return cumulative(from, to, &TechGeneration::areaScale);
+}
+
+double
+TechModel::projectCuDynW(double measured, const std::string &from,
+                         const std::string &to) const
+{
+    return measured * capacitanceScale(from, to);
+}
+
+double
+TechModel::projectCuLeakW(double measured, const std::string &from,
+                          const std::string &to) const
+{
+    return measured * leakageScale(from, to);
+}
+
+} // namespace ena

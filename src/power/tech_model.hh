@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Technology-scaling model.
+ *
+ * The paper's high-level simulator projects measured power from current
+ * hardware to the exascale-timeframe process node using in-house
+ * technology-scaling models. We provide an equivalent parametric model:
+ * per-generation capacitance, leakage, and Vmin scaling factors, used to
+ * project per-CU energy from a measured reference node to the target
+ * node. The defaults are conservative published estimates for the
+ * 14nm -> 7nm-class transition window the paper targets (2022-2023).
+ */
+
+#ifndef ENA_POWER_TECH_MODEL_HH
+#define ENA_POWER_TECH_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace ena {
+
+/** One process generation's characteristics relative to the previous. */
+struct TechGeneration
+{
+    std::string name;       ///< e.g. "14nm"
+    double capScale;        ///< switched capacitance vs previous node
+    double leakScale;       ///< leakage per device vs previous node
+    double vminScale;       ///< minimum operating voltage vs previous
+    double areaScale;       ///< device area vs previous node
+};
+
+class TechModel
+{
+  public:
+    /** Default roadmap: 28nm -> 14nm -> 10nm -> 7nm. */
+    TechModel();
+
+    explicit TechModel(std::vector<TechGeneration> roadmap);
+
+    /** Number of known generations. */
+    size_t generations() const { return roadmap_.size(); }
+
+    /** Index of a named node; fatal() if unknown. */
+    size_t indexOf(const std::string &name) const;
+
+    /**
+     * Cumulative scale factors when moving from node @p from to node
+     * @p to (later node => factors < 1 for cap/leak/area).
+     */
+    double capacitanceScale(const std::string &from,
+                            const std::string &to) const;
+    double leakageScale(const std::string &from,
+                        const std::string &to) const;
+    double areaScale(const std::string &from, const std::string &to) const;
+
+    /**
+     * Project a per-CU dynamic energy (W per GHz) measured on @p from
+     * to @p to.
+     */
+    double projectCuDynW(double measured, const std::string &from,
+                         const std::string &to) const;
+
+    /** Project per-CU leakage power similarly. */
+    double projectCuLeakW(double measured, const std::string &from,
+                          const std::string &to) const;
+
+  private:
+    double cumulative(const std::string &from, const std::string &to,
+                      double TechGeneration::*field) const;
+
+    std::vector<TechGeneration> roadmap_;
+};
+
+} // namespace ena
+
+#endif // ENA_POWER_TECH_MODEL_HH

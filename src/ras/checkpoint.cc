@@ -1,0 +1,51 @@
+#include "ras/checkpoint.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ena {
+
+CheckpointModel::CheckpointModel(CheckpointParams params)
+    : params_(params)
+{
+    ENA_ASSERT(params_.checkpointBytes > 0.0 &&
+                   params_.ioBandwidthBps > 0.0,
+               "bad checkpoint parameters");
+}
+
+CheckpointPlan
+CheckpointModel::plan(double system_mttf_hours) const
+{
+    ENA_ASSERT(system_mttf_hours > 0.0, "MTTF must be positive");
+    CheckpointPlan p;
+    p.checkpointCostS =
+        params_.checkpointBytes / params_.ioBandwidthBps +
+        params_.overheadS;
+    double mttf_s = system_mttf_hours * 3600.0;
+    p.intervalS = std::sqrt(2.0 * p.checkpointCostS * mttf_s);
+    p.efficiency = efficiencyAt(p.intervalS, system_mttf_hours);
+    p.checkpointsPerDay = 86400.0 / p.intervalS;
+    return p;
+}
+
+double
+CheckpointModel::efficiencyAt(double interval_s,
+                              double system_mttf_hours) const
+{
+    ENA_ASSERT(interval_s > 0.0, "interval must be positive");
+    double delta = params_.checkpointBytes / params_.ioBandwidthBps +
+                   params_.overheadS;
+    double mttf_s = system_mttf_hours * 3600.0;
+
+    // Per cycle of (work + checkpoint): useful = interval.
+    double cycle = interval_s + delta;
+    // Expected losses per unit time: one failure per MTTF costs half an
+    // interval of rework plus the restart.
+    double failure_loss =
+        (interval_s / 2.0 + delta + params_.restartExtraS) / mttf_s;
+    double eff = (interval_s / cycle) * (1.0 - failure_loss);
+    return eff < 0.0 ? 0.0 : eff;
+}
+
+} // namespace ena

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Checkpoint/restart efficiency model for the exascale machine.
+ *
+ * The paper's system-level constraint: user intervention due to faults
+ * "limited to the order of a week or more on average" across ~100,000
+ * nodes, with I/O nodes provided for check-pointing. This module
+ * computes the classic Young/Daly optimum checkpoint interval and the
+ * resulting machine efficiency, from the node MTTF (ras::FaultModel)
+ * and the time to drain a checkpoint of the node's memory footprint.
+ */
+
+#ifndef ENA_RAS_CHECKPOINT_HH
+#define ENA_RAS_CHECKPOINT_HH
+
+namespace ena {
+
+struct CheckpointParams
+{
+    /** Bytes written per node per checkpoint. */
+    double checkpointBytes = 256e9;      // in-package footprint
+    /** Sustained per-node bandwidth to the I/O nodes. */
+    double ioBandwidthBps = 4e9;
+    /** Fixed coordination cost per checkpoint (s). */
+    double overheadS = 5.0;
+    /** Restart = read the checkpoint back + rejoin (s extra). */
+    double restartExtraS = 30.0;
+};
+
+struct CheckpointPlan
+{
+    double checkpointCostS = 0.0;   ///< delta: one checkpoint's cost
+    double intervalS = 0.0;         ///< Young/Daly optimal tau
+    double efficiency = 0.0;        ///< useful-work fraction (0..1)
+    double checkpointsPerDay = 0.0;
+};
+
+class CheckpointModel
+{
+  public:
+    explicit CheckpointModel(CheckpointParams params = {});
+
+    /**
+     * Optimal plan for a machine whose *system* MTTF is
+     * @p system_mttf_hours.
+     *
+     * Young's first-order optimum: tau = sqrt(2 * delta * M). The
+     * efficiency accounts for checkpoint overhead, expected rework
+     * (half an interval per failure), and restart cost.
+     */
+    CheckpointPlan plan(double system_mttf_hours) const;
+
+    /** Efficiency if checkpoints were taken every @p interval_s. */
+    double efficiencyAt(double interval_s,
+                        double system_mttf_hours) const;
+
+    const CheckpointParams &params() const { return params_; }
+
+  private:
+    CheckpointParams params_;
+};
+
+} // namespace ena
+
+#endif // ENA_RAS_CHECKPOINT_HH

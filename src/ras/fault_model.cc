@@ -1,0 +1,118 @@
+#include "ras/fault_model.hh"
+
+#include "util/logging.hh"
+
+namespace ena {
+
+namespace {
+
+// Baseline FIT densities (order-of-magnitude, per the RAS-budget
+// methodology): field studies put DRAM around 25-70 FIT/Gbit for
+// uncorrectable-if-unprotected single-bit upsets and logic around a few
+// FIT per core / CU at terrestrial flux.
+constexpr double fitPerCpuCore = 8.0;
+constexpr double fitPerCu = 2.5;
+constexpr double fitPerMbSram = 0.8;
+constexpr double fitPerGbHbm = 30.0;
+constexpr double fitPerGbDram = 25.0;
+constexpr double fitPerGbNvm = 2.0;     // storage-class, non-volatile
+constexpr double fitInterconnect = 12.0;
+
+// Protection effectiveness.
+constexpr double eccResidual = 0.02;    // uncorrectable fraction (DUEs)
+constexpr double rmtResidual = 0.05;    // faults escaping RMT windows
+
+// Detection coverage for the silent/detected split of *unprotected*
+// structures (machine checks, CRCs, sanity traps catch some faults even
+// without ECC/RMT).
+constexpr double logicDetection = 0.4;
+constexpr double arrayDetection = 0.1;
+
+/** SRAM capacity (MB) scales with CU and core count. */
+double
+sramMb(const NodeConfig &cfg)
+{
+    // 16 KiB L1 per CU + 2 MiB L2 per GPU chiplet + 1 MiB per CPU core.
+    return cfg.cus * 0.016 + cfg.gpuChiplets * 2.0 + cfg.cpuCores() * 1.0;
+}
+
+} // anonymous namespace
+
+FaultModel::FaultModel(RasConfig ras) : ras_(ras)
+{
+}
+
+FitBreakdown
+FaultModel::rawNodeFit(const NodeConfig &cfg) const
+{
+    cfg.validate();
+    FitBreakdown f;
+    double ser_scale =
+        cfg.opts.ntc ? ras_.ntcSerMultiplier : 1.0;
+
+    f.cpuLogic = fitPerCpuCore * cfg.cpuCores() * ser_scale;
+    f.gpuLogic = fitPerCu * cfg.cus * ser_scale;
+    f.sram = fitPerMbSram * sramMb(cfg) * 8.0 * ser_scale;
+    f.hbm = fitPerGbHbm * cfg.inPackageGb;
+    f.extDram = fitPerGbDram * cfg.ext.dramGb;
+    f.nvm = fitPerGbNvm * cfg.ext.nvmGb;
+    f.interconnect = fitInterconnect * ser_scale;
+    return f;
+}
+
+FitBreakdown
+FaultModel::protectedNodeFit(const NodeConfig &cfg) const
+{
+    FitBreakdown f = rawNodeFit(cfg);
+    if (ras_.dramEcc) {
+        f.hbm *= eccResidual;
+        f.extDram *= eccResidual;
+        f.nvm *= eccResidual;
+    }
+    if (ras_.sramEcc)
+        f.sram *= eccResidual;
+    if (ras_.gpuRmt)
+        f.gpuLogic *= rmtResidual;
+    return f;
+}
+
+double
+FaultModel::silentFit(const NodeConfig &cfg) const
+{
+    FitBreakdown f = protectedNodeFit(cfg);
+    // Array errors surviving ECC are overwhelmingly *detected*
+    // (uncorrectable-but-flagged); without ECC most are silent.
+    double array_silent = ras_.dramEcc ? 0.05 : 1.0 - arrayDetection;
+    double sram_silent = ras_.sramEcc ? 0.05 : 1.0 - arrayDetection;
+    // RMT converts almost all surviving GPU logic faults to detected.
+    double gpu_silent = ras_.gpuRmt ? 0.1 : 1.0 - logicDetection;
+
+    return f.cpuLogic * (1.0 - logicDetection) + f.gpuLogic * gpu_silent +
+           f.sram * sram_silent +
+           (f.hbm + f.extDram + f.nvm) * array_silent +
+           f.interconnect * (1.0 - logicDetection);
+}
+
+double
+FaultModel::silentFraction(const NodeConfig &cfg) const
+{
+    double total = protectedNodeFit(cfg).total();
+    return total > 0.0 ? silentFit(cfg) / total : 0.0;
+}
+
+double
+FaultModel::nodeMttfHours(const NodeConfig &cfg) const
+{
+    double fit = protectedNodeFit(cfg).total();
+    ENA_ASSERT(fit > 0.0, "zero FIT rate");
+    return 1e9 / fit;
+}
+
+double
+FaultModel::systemMttfHours(const NodeConfig &cfg, int nodes) const
+{
+    ENA_ASSERT(nodes > 0, "need a positive node count");
+    return nodeMttfHours(cfg) / nodes;
+}
+
+} // namespace ena

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reliability model for the ENA (paper Section II-A5).
+ *
+ * The paper's RAS discussion sets the constraints — a 100,000-node
+ * machine must keep user-visible interruptions to about one per week,
+ * transient-fault rates grow with transistor count and memory capacity,
+ * ECC covers the regular arrays, and aggressive voltage reduction (NTC)
+ * raises soft-error rates — but presents no quantitative evaluation.
+ * This module provides one: per-component FIT accounting, node and
+ * system MTTF, and the silent-error split with and without protection.
+ *
+ * FIT = failures per 10^9 device-hours. Baseline rates follow published
+ * field studies of HPC silicon and DRAM (order-of-magnitude accuracy is
+ * the goal, as in any pre-silicon RAS budget).
+ */
+
+#ifndef ENA_RAS_FAULT_MODEL_HH
+#define ENA_RAS_FAULT_MODEL_HH
+
+#include "common/node_config.hh"
+
+namespace ena {
+
+/** Protection choices for the node's structures. */
+struct RasConfig
+{
+    bool dramEcc = true;        ///< SEC-DED on in-package + external DRAM
+    bool sramEcc = true;        ///< parity/ECC on caches and registers
+    bool gpuRmt = false;        ///< redundant multithreading on the GPU
+    /** Voltage-dependent SER multiplier applied when NTC is active
+     *  (lower Vdd -> smaller critical charge). */
+    double ntcSerMultiplier = 2.0;
+};
+
+/** FIT rates per component class, for one node. */
+struct FitBreakdown
+{
+    double cpuLogic = 0.0;
+    double gpuLogic = 0.0;
+    double sram = 0.0;          ///< caches, register files
+    double hbm = 0.0;           ///< in-package DRAM
+    double extDram = 0.0;
+    double nvm = 0.0;
+    double interconnect = 0.0;
+
+    double
+    total() const
+    {
+        return cpuLogic + gpuLogic + sram + hbm + extDram + nvm +
+               interconnect;
+    }
+};
+
+class FaultModel
+{
+  public:
+    explicit FaultModel(RasConfig ras = {});
+
+    /** Raw (unprotected) FIT rates of one node's structures. */
+    FitBreakdown rawNodeFit(const NodeConfig &cfg) const;
+
+    /**
+     * FIT rate of *uncorrected* errors after the configured protection
+     * (ECC removes almost all array SEUs; RMT detects GPU logic
+     * faults).
+     */
+    FitBreakdown protectedNodeFit(const NodeConfig &cfg) const;
+
+    /**
+     * FIT rate of *silent* data corruption: uncorrected errors that
+     * also escape detection.
+     */
+    double silentFit(const NodeConfig &cfg) const;
+
+    /** Node mean time to failure in hours (uncorrected errors). */
+    double nodeMttfHours(const NodeConfig &cfg) const;
+
+    /** System MTTF in hours for @p nodes nodes. */
+    double systemMttfHours(const NodeConfig &cfg, int nodes) const;
+
+    /**
+     * Fraction of uncorrected faults that are silent (no detection).
+     */
+    double silentFraction(const NodeConfig &cfg) const;
+
+    const RasConfig &ras() const { return ras_; }
+
+  private:
+    RasConfig ras_;
+};
+
+} // namespace ena
+
+#endif // ENA_RAS_FAULT_MODEL_HH

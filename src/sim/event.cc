@@ -1,0 +1,121 @@
+#include "sim/event.hh"
+
+#include "util/logging.hh"
+
+namespace ena {
+
+Event::~Event() = default;
+
+EventQueue::~EventQueue()
+{
+    // Free any still-pending self-deleting lambda wrappers.
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        bool live = e.event->scheduled_ && e.event->seq_ == e.seq;
+        if (live && e.event->selfDeleting_)
+            delete e.event;
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    ENA_ASSERT(ev, "scheduling null event");
+    ENA_ASSERT(!ev->scheduled_, "event '", ev->description(),
+               "' already scheduled");
+    ENA_ASSERT(when >= curTick_, "scheduling event '", ev->description(),
+               "' in the past (", when, " < ", curTick_, ")");
+    ev->when_ = when;
+    ev->seq_ = nextSeq_++;
+    ev->scheduled_ = true;
+    heap_.push(Entry{when, ev->seq_, ev});
+    ++liveCount_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    ENA_ASSERT(ev && ev->scheduled_, "descheduling unscheduled event");
+    ev->scheduled_ = false;
+    --liveCount_;
+    // The heap entry is left in place and skipped lazily when popped.
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
+                           std::string desc)
+{
+    auto *ev = new EventFunctionWrapper(std::move(fn), std::move(desc));
+    ev->selfDeleting_ = true;
+    schedule(ev, when);
+}
+
+void
+EventQueue::skim() const
+{
+    while (!heap_.empty()) {
+        const Entry &e = heap_.top();
+        bool live = e.event->scheduled_ && e.event->seq_ == e.seq;
+        if (live)
+            return;
+        if (e.event->selfDeleting_ && !e.event->scheduled_)
+            delete e.event;
+        heap_.pop();
+    }
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    skim();
+    if (heap_.empty())
+        ENA_FATAL("nextTick() on empty event queue");
+    return heap_.top().when;
+}
+
+bool
+EventQueue::serviceOne()
+{
+    skim();
+    if (heap_.empty())
+        return false;
+
+    Entry e = heap_.top();
+    heap_.pop();
+    ENA_ASSERT(e.when >= curTick_, "event queue went backwards");
+    curTick_ = e.when;
+
+    Event *ev = e.event;
+    ev->scheduled_ = false;
+    --liveCount_;
+    ++processed_;
+    ev->process();
+    if (ev->selfDeleting_ && !ev->scheduled_)
+        delete ev;
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (true) {
+        skim();
+        if (heap_.empty() || heap_.top().when > limit)
+            break;
+        serviceOne();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace ena

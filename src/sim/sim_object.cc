@@ -1,0 +1,38 @@
+#include "sim/sim_object.hh"
+
+#include "sim/simulation.hh"
+#include "util/logging.hh"
+
+namespace ena {
+
+SimObject::SimObject(Simulation &sim, std::string name)
+    : sim_(sim), name_(std::move(name))
+{
+    ENA_ASSERT(!name_.empty(), "SimObject requires a name");
+}
+
+EventQueue &
+SimObject::eventq() const
+{
+    return sim_.eventq();
+}
+
+StatRegistry &
+SimObject::stats() const
+{
+    return sim_.stats();
+}
+
+Tick
+SimObject::curTick() const
+{
+    return sim_.eventq().curTick();
+}
+
+void
+SimObject::schedule(Event &ev, Tick delay)
+{
+    eventq().schedule(&ev, curTick() + delay);
+}
+
+} // namespace ena

@@ -1,0 +1,26 @@
+#include "sim/simulation.hh"
+
+namespace ena {
+
+void
+Simulation::initAll()
+{
+    if (initDone_)
+        return;
+    initDone_ = true;
+    // init() in creation order, then startup() in creation order; new
+    // objects created during init() are picked up by index iteration.
+    for (size_t i = 0; i < objects_.size(); ++i)
+        objects_[i]->init();
+    for (size_t i = 0; i < objects_.size(); ++i)
+        objects_[i]->startup();
+}
+
+std::uint64_t
+Simulation::run(Tick limit)
+{
+    initAll();
+    return eventq_.run(limit);
+}
+
+} // namespace ena

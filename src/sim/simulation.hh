@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Top-level owner of one event-driven simulation: the event queue, the
+ * stat registry, and every SimObject created through it.
+ */
+
+#ifndef ENA_SIM_SIMULATION_HH
+#define ENA_SIM_SIMULATION_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace ena {
+
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /**
+     * Construct a SimObject owned by this simulation. The first
+     * constructor argument (Simulation &) is supplied automatically.
+     * Returns a non-owning pointer valid for the simulation's lifetime.
+     */
+    template <typename T, typename... Args>
+    T *
+    create(Args &&...args)
+    {
+        auto obj = std::make_unique<T>(*this, std::forward<Args>(args)...);
+        T *raw = obj.get();
+        objects_.push_back(std::move(obj));
+        return raw;
+    }
+
+    EventQueue &eventq() { return eventq_; }
+    const EventQueue &eventq() const { return eventq_; }
+    StatRegistry &stats() { return stats_; }
+    const StatRegistry &stats() const { return stats_; }
+    Tick curTick() const { return eventq_.curTick(); }
+
+    /** Run init() then startup() on all objects (once). */
+    void initAll();
+
+    /**
+     * initAll() if needed, then run to completion or @p limit ticks.
+     * Returns number of events processed.
+     */
+    std::uint64_t run(Tick limit = ~Tick(0));
+
+    size_t numObjects() const { return objects_.size(); }
+
+  private:
+    // Destruction runs in reverse declaration order: eventq_ dies first
+    // (its destructor inspects Events still owned by live SimObjects),
+    // then objects_ (whose stats deregister from stats_), then stats_.
+    StatRegistry stats_;
+    std::vector<std::unique_ptr<SimObject>> objects_;
+    EventQueue eventq_;
+    bool initDone_ = false;
+};
+
+} // namespace ena
+
+#endif // ENA_SIM_SIMULATION_HH

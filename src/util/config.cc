@@ -1,0 +1,212 @@
+#include "util/config.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace ena {
+
+Config
+Config::fromString(std::string_view text)
+{
+    Config cfg;
+    std::istringstream in{std::string(text)};
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::string t = trim(line);
+        if (t.empty())
+            continue;
+        size_t eq = t.find('=');
+        if (eq == std::string::npos)
+            ENA_FATAL("config line ", lineno, ": missing '=' in '", t, "'");
+        std::string key = trim(t.substr(0, eq));
+        std::string value = trim(t.substr(eq + 1));
+        if (key.empty())
+            ENA_FATAL("config line ", lineno, ": empty key");
+        cfg.values_[key] = value;
+    }
+    return cfg;
+}
+
+Config
+Config::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ENA_FATAL("cannot open config file '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return fromString(buf.str());
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    std::ostringstream os;
+    os.precision(15);
+    os << value;
+    values_[key] = os.str();
+}
+
+void
+Config::set(const std::string &key, long long value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, int value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::optional<std::string>
+Config::lookup(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key) const
+{
+    auto v = lookup(key);
+    if (!v)
+        ENA_FATAL("missing config key '", key, "'");
+    return *v;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &dflt) const
+{
+    auto v = lookup(key);
+    return v ? *v : dflt;
+}
+
+double
+Config::getDouble(const std::string &key) const
+{
+    auto v = lookup(key);
+    if (!v)
+        ENA_FATAL("missing config key '", key, "'");
+    auto d = parseDouble(*v);
+    if (!d)
+        ENA_FATAL("config key '", key, "': '", *v, "' is not a number");
+    return *d;
+}
+
+double
+Config::getDouble(const std::string &key, double dflt) const
+{
+    auto v = lookup(key);
+    if (!v)
+        return dflt;
+    auto d = parseDouble(*v);
+    if (!d)
+        ENA_FATAL("config key '", key, "': '", *v, "' is not a number");
+    return *d;
+}
+
+long long
+Config::getInt(const std::string &key) const
+{
+    auto v = lookup(key);
+    if (!v)
+        ENA_FATAL("missing config key '", key, "'");
+    auto d = parseInt(*v);
+    if (!d)
+        ENA_FATAL("config key '", key, "': '", *v, "' is not an integer");
+    return *d;
+}
+
+long long
+Config::getInt(const std::string &key, long long dflt) const
+{
+    auto v = lookup(key);
+    if (!v)
+        return dflt;
+    auto d = parseInt(*v);
+    if (!d)
+        ENA_FATAL("config key '", key, "': '", *v, "' is not an integer");
+    return *d;
+}
+
+bool
+Config::getBool(const std::string &key) const
+{
+    auto v = lookup(key);
+    if (!v)
+        ENA_FATAL("missing config key '", key, "'");
+    auto b = parseBool(*v);
+    if (!b)
+        ENA_FATAL("config key '", key, "': '", *v, "' is not a boolean");
+    return *b;
+}
+
+bool
+Config::getBool(const std::string &key, bool dflt) const
+{
+    auto v = lookup(key);
+    if (!v)
+        return dflt;
+    auto b = parseBool(*v);
+    if (!b)
+        ENA_FATAL("config key '", key, "': '", *v, "' is not a boolean");
+    return *b;
+}
+
+std::vector<std::string>
+Config::keysWithPrefix(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (const auto &[k, v] : values_) {
+        if (startsWith(k, prefix))
+            out.push_back(k);
+    }
+    return out;
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &[k, v] : other.values_)
+        values_[k] = v;
+}
+
+std::string
+Config::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : values_)
+        os << k << " = " << v << "\n";
+    return os.str();
+}
+
+} // namespace ena

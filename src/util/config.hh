@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A small typed key-value configuration store.
+ *
+ * Keys are dotted strings ("ehp.cus", "extmem.nvm_fraction"); values are
+ * stored as strings and converted on access. Supports parsing from
+ * "key = value" text (one per line, '#' comments) so examples and benches
+ * can be driven from config files, and merging/overriding for sweeps.
+ */
+
+#ifndef ENA_UTIL_CONFIG_HH
+#define ENA_UTIL_CONFIG_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ena {
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse "key = value" lines; fatal() on malformed input. */
+    static Config fromString(std::string_view text);
+
+    /** Load from a file; fatal() if unreadable or malformed. */
+    static Config fromFile(const std::string &path);
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, long long value);
+    void set(const std::string &key, int value);
+    void set(const std::string &key, bool value);
+
+    /** True if the key exists. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed accessors. The no-default forms call fatal() when the key is
+     * missing or unparseable; the defaulted forms return the default when
+     * the key is absent but still fatal() on a present-but-bad value.
+     */
+    std::string getString(const std::string &key) const;
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+    double getDouble(const std::string &key) const;
+    double getDouble(const std::string &key, double dflt) const;
+    long long getInt(const std::string &key) const;
+    long long getInt(const std::string &key, long long dflt) const;
+    bool getBool(const std::string &key) const;
+    bool getBool(const std::string &key, bool dflt) const;
+
+    /** All keys with the given prefix (e.g. "extmem."). */
+    std::vector<std::string> keysWithPrefix(const std::string &prefix) const;
+
+    /** Merge @p other into this config; other's values win. */
+    void merge(const Config &other);
+
+    /** Serialize back to "key = value" lines in sorted key order. */
+    std::string toString() const;
+
+    size_t size() const { return values_.size(); }
+
+  private:
+    std::optional<std::string> lookup(const std::string &key) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace ena
+
+#endif // ENA_UTIL_CONFIG_HH

@@ -1,0 +1,66 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <iostream>
+
+namespace ena {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+
+} // anonymous namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail {
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Info)
+        std::cout << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Debug)
+        std::cout << "debug: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace ena

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic random-number generation for synthetic workload traces.
+ *
+ * A thin wrapper over xoshiro256** so traces are reproducible across
+ * platforms and standard-library versions (std::mt19937 distributions are
+ * not portable across implementations).
+ */
+
+#ifndef ENA_UTIL_RNG_HH
+#define ENA_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace ena {
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to fill the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        // Modulo bias is negligible for n << 2^64 (all our uses).
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Geometric-ish burst length with mean @p m (at least 1). */
+    std::uint64_t
+    burstLength(double m)
+    {
+        if (m <= 1.0)
+            return 1;
+        std::uint64_t len = 1;
+        double cont = 1.0 - 1.0 / m;
+        while (chance(cont) && len < 1024)
+            ++len;
+        return len;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace ena
+
+#endif // ENA_UTIL_RNG_HH

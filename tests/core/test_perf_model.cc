@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests of the analytic performance model against the paper's Section
+ * IV characterization: compute-intensive, balanced, and
+ * memory-intensive regimes, plus the miss-rate model of Fig. 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/perf_model.hh"
+
+using namespace ena;
+
+namespace {
+
+NodeConfig
+cfgOf(int cus, double f, double bw)
+{
+    NodeConfig c;
+    c.cus = cus;
+    c.freqGhz = f;
+    c.bwTbs = bw;
+    return c;
+}
+
+} // anonymous namespace
+
+TEST(PerfModel, PeakFlopsFormula)
+{
+    // 2 TF per 32-CU chiplet at 1 GHz (paper Section II-A1).
+    NodeConfig one_chiplet = cfgOf(32, 1.0, 1.0);
+    EXPECT_NEAR(PerfModel::peakFlops(one_chiplet) / 1e12, 2.048, 1e-9);
+    EXPECT_NEAR(PerfModel::peakFlops(NodeConfig::bestMean()) / 1e12,
+                20.48, 1e-9);
+}
+
+TEST(PerfModel, AchievedNeverExceedsPeakOrRooflines)
+{
+    PerfModel pm;
+    for (App app : allApps()) {
+        for (double bw : {1.0, 3.0, 7.0}) {
+            for (int cus : {192, 320, 384}) {
+                PerfResult r =
+                    pm.evaluate(cfgOf(cus, 1.0, bw), profileFor(app));
+                EXPECT_LE(r.flops, r.peakFlops);
+                EXPECT_LE(r.flops, r.computeRate + 1e-3);
+                EXPECT_LE(r.flops, r.memoryRate + 1e-3);
+                EXPECT_GT(r.flops, 0.0);
+            }
+        }
+    }
+}
+
+TEST(PerfModel, MaxFlopsScalesLinearlyWithCompute)
+{
+    PerfModel pm;
+    const KernelProfile &mf = profileFor(App::MaxFlops);
+    double base = pm.evaluate(cfgOf(160, 1.0, 3.0), mf).flops;
+    double twice = pm.evaluate(cfgOf(320, 1.0, 3.0), mf).flops;
+    EXPECT_NEAR(twice / base, 2.0, 0.01);
+    double f_twice = pm.evaluate(cfgOf(160, 1.0, 3.0), mf).flops;
+    EXPECT_NEAR(pm.evaluate(cfgOf(160, 0.5, 3.0), mf).flops / f_twice,
+                0.5, 0.01);
+}
+
+TEST(PerfModel, MaxFlopsInsensitiveToBandwidth)
+{
+    // Fig. 4: corresponding points across bandwidth curves coincide.
+    PerfModel pm;
+    const KernelProfile &mf = profileFor(App::MaxFlops);
+    double at1 = pm.evaluate(cfgOf(320, 1.0, 1.0), mf).flops;
+    double at7 = pm.evaluate(cfgOf(320, 1.0, 7.0), mf).flops;
+    EXPECT_NEAR(at7 / at1, 1.0, 1e-6);
+}
+
+TEST(PerfModel, BalancedKernelPlateausPastKnee)
+{
+    // Fig. 5: CoMD gains strongly up to its knee, then flattens.
+    PerfModel pm;
+    const KernelProfile &comd = profileFor(App::CoMD);
+    double lo = pm.evaluate(cfgOf(192, 0.7, 3.0), comd).flops;
+    double mid = pm.evaluate(cfgOf(320, 1.0, 3.0), comd).flops;
+    double hi = pm.evaluate(cfgOf(384, 1.3, 3.0), comd).flops;
+    double early_gain = mid / lo;
+    double late_gain = hi / mid;
+    EXPECT_GT(early_gain, 1.3);
+    EXPECT_LT(late_gain, 1.15);
+}
+
+TEST(PerfModel, MemoryIntensiveDegradesPastKnee)
+{
+    // Fig. 6: LULESH rises, then declines with more compute pressure.
+    PerfModel pm;
+    const KernelProfile &lulesh = profileFor(App::LULESH);
+    double at_knee = pm.evaluate(cfgOf(192, 0.9, 3.0), lulesh).flops;
+    double pressed = pm.evaluate(cfgOf(384, 1.5, 3.0), lulesh).flops;
+    EXPECT_LT(pressed, at_knee * 0.95);
+}
+
+TEST(PerfModel, MemoryIntensiveBandwidthCurvesCluster)
+{
+    // Fig. 6: beyond the kernel's saturation bandwidth, provisioning
+    // more does not help; 1 TB/s is distinctly lower.
+    PerfModel pm;
+    const KernelProfile &lulesh = profileFor(App::LULESH);
+    double bw1 = pm.evaluate(cfgOf(320, 1.0, 1.0), lulesh).flops;
+    double bw4 = pm.evaluate(cfgOf(320, 1.0, 4.0), lulesh).flops;
+    double bw7 = pm.evaluate(cfgOf(320, 1.0, 7.0), lulesh).flops;
+    EXPECT_NEAR(bw7 / bw4, 1.0, 0.02);
+    EXPECT_LT(bw1, 0.6 * bw4);
+}
+
+TEST(PerfModel, ContentionSaturates)
+{
+    // Even at absurd ops-per-byte the memory system retains a floor.
+    PerfModel pm;
+    const KernelProfile &mini = profileFor(App::MiniAMR);
+    double floor = pm.evaluate(cfgOf(384, 1.5, 1.0), mini).flops;
+    double healthy = pm.evaluate(cfgOf(192, 0.7, 1.0), mini).flops;
+    EXPECT_GT(floor, healthy / 4.0);
+}
+
+TEST(PerfModel, MemoryBoundFlagTracksRooflines)
+{
+    PerfModel pm;
+    PerfResult mf = pm.evaluate(NodeConfig::bestMean(),
+                                profileFor(App::MaxFlops));
+    EXPECT_FALSE(mf.memoryBound);
+    PerfResult xs = pm.evaluate(NodeConfig::bestMean(),
+                                profileFor(App::XSBench));
+    EXPECT_TRUE(xs.memoryBound);
+}
+
+TEST(PerfModel, ActivityConsistentWithPerf)
+{
+    PerfModel pm;
+    for (App app : allApps()) {
+        PerfResult r = pm.evaluate(NodeConfig::bestMean(),
+                                   profileFor(app));
+        EXPECT_NEAR(r.activity.cuUtilization, r.flops / r.peakFlops,
+                    1e-9);
+        EXPECT_LE(r.activity.inPkgTrafficGbs, 3000.0 + 1e-9);
+        EXPECT_NEAR(r.activity.extTrafficGbs,
+                    profileFor(app).extTrafficFraction *
+                        r.activity.inPkgTrafficGbs,
+                    1e-6);
+        EXPECT_GT(r.activity.nocTrafficGbs,
+                  r.activity.inPkgTrafficGbs * 0.99);
+    }
+}
+
+// ----- Fig. 8 miss-rate model ----------------------------------------
+
+TEST(MissRateModel, ZeroMissMatchesBaseModel)
+{
+    PerfModel pm;
+    for (App app : allApps()) {
+        double base = pm.evaluate(NodeConfig::bestMean(),
+                                  profileFor(app)).flops;
+        double m0 = pm.evaluateWithMissRate(NodeConfig::bestMean(),
+                                            profileFor(app), 0.0);
+        EXPECT_NEAR(m0 / base, 1.0, 1e-9) << appName(app);
+    }
+}
+
+TEST(MissRateModel, MonotonicallyDegrades)
+{
+    PerfModel pm;
+    for (App app : allApps()) {
+        double prev = 1e30;
+        for (double m = 0.0; m <= 1.0; m += 0.1) {
+            double perf = pm.evaluateWithMissRate(
+                NodeConfig::bestMean(), profileFor(app), m);
+            EXPECT_LE(perf, prev + 1e-3) << appName(app) << " at " << m;
+            prev = perf;
+        }
+    }
+}
+
+TEST(MissRateModel, MaxFlopsIsFlat)
+{
+    PerfModel pm;
+    const KernelProfile &mf = profileFor(App::MaxFlops);
+    double m0 =
+        pm.evaluateWithMissRate(NodeConfig::bestMean(), mf, 0.0);
+    double m1 =
+        pm.evaluateWithMissRate(NodeConfig::bestMean(), mf, 1.0);
+    EXPECT_NEAR(m1 / m0, 1.0, 0.01);
+}
+
+TEST(MissRateModel, LuleshIsLatencyLimitedExternally)
+{
+    // LULESH's external service rate must sit below the raw SerDes
+    // bandwidth (latency-, not bandwidth-limited), unlike CoMD's.
+    NodeConfig cfg = NodeConfig::bestMean();
+    double serdes = cfg.ext.aggregateGbs();
+    EXPECT_LT(PerfModel::externalRateGbs(cfg, profileFor(App::LULESH)),
+              serdes * 0.8);
+    EXPECT_NEAR(PerfModel::externalRateGbs(cfg, profileFor(App::CoMD)),
+                serdes, 1e-6);
+}
+
+TEST(MissRateModel, FullMissDegradationInBand)
+{
+    PerfModel pm;
+    for (App app : allApps()) {
+        if (app == App::MaxFlops)
+            continue;
+        double m0 = pm.evaluateWithMissRate(NodeConfig::bestMean(),
+                                            profileFor(app), 0.0);
+        double m1 = pm.evaluateWithMissRate(NodeConfig::bestMean(),
+                                            profileFor(app), 1.0);
+        double ratio = m1 / m0;
+        EXPECT_GT(ratio, 0.05) << appName(app);
+        EXPECT_LT(ratio, 0.75) << appName(app);
+    }
+}
+
+TEST(MissRateModelDeathTest, BadMissFractionPanics)
+{
+    PerfModel pm;
+    EXPECT_DEATH(pm.evaluateWithMissRate(NodeConfig::bestMean(),
+                                         profileFor(App::CoMD), 1.5),
+                 "miss fraction");
+}
+
+TEST(PerfModel, OpsPerByteAxis)
+{
+    EXPECT_NEAR(NodeConfig::bestMean().opsPerByte(), 0.1067, 1e-3);
+    EXPECT_NEAR(cfgOf(320, 1.0, 1.0).opsPerByte(), 0.32, 1e-9);
+}
+
+TEST(PerfModelDeathTest, InvalidConfigIsFatal)
+{
+    PerfModel pm;
+    NodeConfig bad;
+    bad.cus = 0;
+    EXPECT_EXIT(pm.evaluate(bad, profileFor(App::CoMD)),
+                testing::ExitedWithCode(1), "bad CU count");
+}

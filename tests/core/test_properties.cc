@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Property-based sweeps across the full (application x configuration)
+ * grid: invariants that must hold at every point of the design space,
+ * not just at the calibrated anchors.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/node_evaluator.hh"
+
+using namespace ena;
+
+namespace {
+
+const NodeEvaluator &
+evaluator()
+{
+    static NodeEvaluator eval;
+    return eval;
+}
+
+NodeConfig
+cfgOf(int cus, double f, double bw)
+{
+    NodeConfig c;
+    c.cus = cus;
+    c.freqGhz = f;
+    c.bwTbs = bw;
+    return c;
+}
+
+using GridPoint = std::tuple<App, int, double>;
+
+std::vector<GridPoint>
+appConfigGrid()
+{
+    std::vector<GridPoint> out;
+    for (App app : allApps()) {
+        for (int cus : {192, 256, 320, 384}) {
+            for (double bw : {1.0, 3.0, 5.0, 7.0})
+                out.emplace_back(app, cus, bw);
+        }
+    }
+    return out;
+}
+
+std::string
+gridName(const testing::TestParamInfo<GridPoint> &info)
+{
+    auto [app, cus, bw] = info.param;
+    std::string n = appName(app);
+    for (char &c : n) {
+        if (c == '-')
+            c = '_';
+    }
+    return n + "_" + std::to_string(cus) + "cu_" +
+           std::to_string(static_cast<int>(bw)) + "tbs";
+}
+
+} // anonymous namespace
+
+class GridPropertyTest : public testing::TestWithParam<GridPoint>
+{
+};
+
+TEST_P(GridPropertyTest, PerfWithinPhysicalBounds)
+{
+    auto [app, cus, bw] = GetParam();
+    for (double f : {0.7, 1.0, 1.3}) {
+        EvalResult r = evaluator().evaluate(cfgOf(cus, f, bw), app);
+        EXPECT_GT(r.perf.flops, 0.0);
+        EXPECT_LE(r.perf.flops, r.perf.peakFlops);
+        EXPECT_LE(r.perf.trafficGbs, bw * 1000.0 + 1e-6);
+        EXPECT_GE(r.perf.activity.cuUtilization, 0.0);
+        EXPECT_LE(r.perf.activity.cuUtilization, 1.0);
+    }
+}
+
+TEST_P(GridPropertyTest, PowerComponentsPositiveAndConsistent)
+{
+    auto [app, cus, bw] = GetParam();
+    EvalResult r = evaluator().evaluate(cfgOf(cus, 1.0, bw), app);
+    const PowerBreakdown &p = r.power;
+    EXPECT_GT(p.cuDyn, 0.0);
+    EXPECT_GT(p.total(), p.packagePower());
+    EXPECT_GE(p.total(), p.budgetPower());
+    EXPECT_GT(p.budgetPower(), 40.0);
+    // The superlinear bandwidth-provisioning cost makes 7 TB/s points
+    // very expensive (that is the design point of the model: the DSE
+    // must find them unaffordable).
+    EXPECT_LT(p.total(), 800.0);
+}
+
+TEST_P(GridPropertyTest, PowerMonotonicInFrequency)
+{
+    auto [app, cus, bw] = GetParam();
+    double prev = 0.0;
+    for (double f : {0.7, 0.9, 1.1, 1.3, 1.5}) {
+        double w = evaluator()
+                       .evaluate(cfgOf(cus, f, bw), app)
+                       .power.budgetPower();
+        EXPECT_GT(w, prev) << "f=" << f;
+        prev = w;
+    }
+}
+
+TEST_P(GridPropertyTest, PerfMonotonicInBandwidthUpToSaturation)
+{
+    // More provisioned bandwidth never hurts (it saturates).
+    auto [app, cus, bw] = GetParam();
+    (void)bw;
+    double prev = 0.0;
+    for (double b : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}) {
+        double flops =
+            evaluator().evaluate(cfgOf(cus, 1.0, b), app).perf.flops;
+        EXPECT_GE(flops, prev - 1e-6) << "bw=" << b;
+        prev = flops;
+    }
+}
+
+TEST_P(GridPropertyTest, OptimizationsNeverIncreaseBudgetPower)
+{
+    auto [app, cus, bw] = GetParam();
+    NodeConfig base = cfgOf(cus, 1.0, bw);
+    NodeConfig opt = base;
+    opt.opts = PowerOptConfig::all();
+    EXPECT_LE(evaluator().evaluate(opt, app).power.budgetPower(),
+              evaluator().evaluate(base, app).power.budgetPower() +
+                  1e-9);
+}
+
+TEST_P(GridPropertyTest, MissRateCurveMonotone)
+{
+    auto [app, cus, bw] = GetParam();
+    NodeConfig cfg = cfgOf(cus, 1.0, bw);
+    const PerfModel &pm = evaluator().perfModel();
+    double prev = 1e30;
+    for (double m : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        double perf =
+            pm.evaluateWithMissRate(cfg, profileFor(app), m);
+        EXPECT_LE(perf, prev + 1e-3);
+        EXPECT_GT(perf, 0.0);
+        prev = perf;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FullGrid, GridPropertyTest,
+                         testing::ValuesIn(appConfigGrid()), gridName);
+
+// ---- cross-model consistency ----------------------------------------
+
+TEST(CrossModel, ScalingExponentsActOnComputeBoundKernelsOnly)
+{
+    // For a memory-bound kernel, doubling CUs at fixed bw must not
+    // double performance; for MaxFlops it must.
+    const NodeEvaluator &eval = evaluator();
+    double mf_ratio =
+        eval.evaluate(cfgOf(384, 1.0, 3.0), App::MaxFlops).perf.flops /
+        eval.evaluate(cfgOf(192, 1.0, 3.0), App::MaxFlops).perf.flops;
+    double xs_ratio =
+        eval.evaluate(cfgOf(384, 1.0, 3.0), App::XSBench).perf.flops /
+        eval.evaluate(cfgOf(192, 1.0, 3.0), App::XSBench).perf.flops;
+    EXPECT_NEAR(mf_ratio, 2.0, 0.02);
+    EXPECT_LT(xs_ratio, 1.2);
+}
+
+TEST(CrossModel, BudgetPowerOrderingFollowsCuActivity)
+{
+    // Within one configuration, kernels with higher CU utilization
+    // draw more budget power (CU dynamic dominates the app-dependent
+    // part).
+    const NodeEvaluator &eval = evaluator();
+    NodeConfig cfg = NodeConfig::bestMean();
+    EvalResult mf = eval.evaluate(cfg, App::MaxFlops);
+    EvalResult xs = eval.evaluate(cfg, App::XSBench);
+    ASSERT_GT(mf.perf.activity.cuUtilization,
+              xs.perf.activity.cuUtilization);
+    EXPECT_GT(mf.power.cuDyn, xs.power.cuDyn);
+}
+
+TEST(CrossModel, FrequencyHelpsComputeBoundHurtsContended)
+{
+    // Raising frequency scales compute-bound kernels up but pushes
+    // contended memory-bound kernels past their knees — the tension
+    // behind the paper's best-mean choice.
+    const NodeEvaluator &eval = evaluator();
+    EXPECT_GT(
+        eval.evaluate(cfgOf(320, 1.1, 3.0), App::MaxFlops).perf.flops,
+        eval.evaluate(cfgOf(320, 1.0, 3.0), App::MaxFlops).perf.flops);
+    EXPECT_LT(
+        eval.evaluate(cfgOf(320, 1.4, 3.0), App::MiniAMR).perf.flops,
+        eval.evaluate(cfgOf(320, 1.0, 3.0), App::MiniAMR).perf.flops);
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the runtime reconfiguration governor (paper Section VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dse.hh"
+#include "core/reconfig.hh"
+
+using namespace ena;
+
+namespace {
+
+const NodeEvaluator &
+evaluator()
+{
+    static NodeEvaluator eval;
+    return eval;
+}
+
+} // anonymous namespace
+
+TEST(Reconfig, DecisionsStayWithinInstalledHardware)
+{
+    ReconfigGovernor gov(evaluator(), GovernorParams{});
+    for (App app : allApps()) {
+        GovernorDecision d = gov.decide(app);
+        EXPECT_LE(d.activeCus, gov.params().installed.cus);
+        EXPECT_GT(d.activeCus, 0);
+        EXPECT_LE(d.budgetPowerW, gov.params().budgetW + 1e-9);
+        EXPECT_GT(d.flops, 0.0);
+    }
+}
+
+TEST(Reconfig, GovernedNeverWorseThanStaticPerApp)
+{
+    ReconfigGovernor gov(evaluator(), GovernorParams{});
+    for (App app : allApps()) {
+        GovernorDecision d = gov.decide(app);
+        double static_perf =
+            evaluator().evaluate(NodeConfig::bestMean(), app)
+                .perf.flops;
+        // The static point (320 CUs @ 1 GHz) is in the governor's
+        // search space, so the decision can only match or beat it.
+        EXPECT_GE(d.flops, static_perf - 1e-6) << appName(app);
+    }
+}
+
+TEST(Reconfig, GovernorBoundedByOracle)
+{
+    // The runtime governor cannot beat Table II's oracle, which may
+    // also re-provision bandwidth.
+    DesignSpaceExplorer dse(evaluator(), DseGrid::paperGrid(), 160.0);
+    ReconfigGovernor gov(evaluator(), GovernorParams{});
+    for (App app : allApps()) {
+        AppBest oracle = dse.findBestForApp(app, PowerOptConfig::none());
+        EXPECT_LE(gov.decide(app).flops, oracle.flops + 1e-6)
+            << appName(app);
+    }
+}
+
+TEST(Reconfig, MemoryBoundPhasesGateCusDown)
+{
+    ReconfigGovernor gov(evaluator(), GovernorParams{});
+    GovernorDecision lulesh = gov.decide(App::LULESH);
+    GovernorDecision maxflops = gov.decide(App::MaxFlops);
+    EXPECT_LT(lulesh.activeCus, maxflops.activeCus);
+}
+
+TEST(Reconfig, PhasedWorkloadGains)
+{
+    ReconfigGovernor gov(evaluator(), GovernorParams{});
+    std::vector<Phase> phases = {
+        {App::LULESH, 1.0}, {App::MaxFlops, 1.0}, {App::XSBench, 1.0}};
+    GovernorSummary s = gov.run(phases);
+    EXPECT_GE(s.gainPct, 0.0);
+    EXPECT_GE(s.transitions, 1);
+    EXPECT_GT(s.avgStaticPowerW, 0.0);
+    EXPECT_GT(s.avgGovernedPowerW, 0.0);
+}
+
+TEST(Reconfig, SinglePhaseHasNoTransitionCost)
+{
+    ReconfigGovernor gov(evaluator(), GovernorParams{});
+    GovernorSummary s = gov.run({{App::SNAP, 2.0}});
+    EXPECT_EQ(s.transitions, 0);
+    GovernorDecision d = gov.decide(App::SNAP);
+    EXPECT_NEAR(s.governedWork, d.flops * 2.0, d.flops * 1e-9);
+}
+
+TEST(Reconfig, TransitionCostEatsIntoRapidPhases)
+{
+    GovernorParams slow;
+    slow.transitionS = 0.05;
+    ReconfigGovernor cheap(evaluator(), GovernorParams{});
+    ReconfigGovernor costly(evaluator(), slow);
+    // Rapidly alternating phases.
+    std::vector<Phase> phases;
+    for (int i = 0; i < 10; ++i) {
+        phases.push_back({App::LULESH, 0.1});
+        phases.push_back({App::MaxFlops, 0.1});
+    }
+    EXPECT_GT(cheap.run(phases).gainPct, costly.run(phases).gainPct);
+}
+
+TEST(ReconfigDeathTest, EmptyWorkloadPanics)
+{
+    ReconfigGovernor gov(evaluator(), GovernorParams{});
+    EXPECT_DEATH(gov.run({}), "empty workload");
+}
+
+TEST(ReconfigDeathTest, ImpossibleBudgetIsFatal)
+{
+    GovernorParams p;
+    p.budgetW = 1.0;
+    ReconfigGovernor gov(evaluator(), p);
+    EXPECT_EXIT(gov.decide(App::CoMD), testing::ExitedWithCode(1),
+                "no feasible runtime setting");
+}

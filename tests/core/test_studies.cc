@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests of the figure-study drivers: ops-per-byte sweeps (Figs. 4-6),
+ * miss-rate study (Fig. 8), external-memory study (Fig. 9), perf/W
+ * study (Fig. 13), and the exascale projector (Fig. 14).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/studies.hh"
+#include "core/thermal_study.hh"
+
+using namespace ena;
+
+namespace {
+
+const NodeEvaluator &
+evaluator()
+{
+    static NodeEvaluator eval;
+    return eval;
+}
+
+} // anonymous namespace
+
+TEST(OpbSweep, NormalizationAnchorsAtBestMean)
+{
+    OpbSweepStudy study(evaluator(), NodeConfig::bestMean());
+    auto curves = study.sweepFrequency(App::CoMD, {3.0},
+                                       {0.8, 1.0, 1.2});
+    ASSERT_EQ(curves.size(), 1u);
+    ASSERT_EQ(curves[0].points.size(), 3u);
+    // The (320 CUs, 1 GHz, 3 TB/s) point is exactly 1.0 by definition.
+    EXPECT_NEAR(curves[0].points[1].normPerf, 1.0, 1e-9);
+}
+
+TEST(OpbSweep, OpsPerByteMatchesConfig)
+{
+    OpbSweepStudy study(evaluator(), NodeConfig::bestMean());
+    auto curves =
+        study.sweepCuCount(App::LULESH, {1.0, 4.0}, {192, 384});
+    for (const OpbCurve &c : curves) {
+        for (const OpbPoint &p : c.points) {
+            EXPECT_NEAR(p.opsPerByte, p.cfg.opsPerByte(), 1e-12);
+            EXPECT_DOUBLE_EQ(p.cfg.bwTbs, c.bwTbs);
+        }
+    }
+}
+
+TEST(OpbSweep, PaperBandwidthSeries)
+{
+    auto bws = OpbSweepStudy::paperBandwidths();
+    EXPECT_EQ(bws, (std::vector<double>{1.0, 3.0, 4.0, 5.0, 6.0, 7.0}));
+}
+
+TEST(MissRate, DefaultStudyShape)
+{
+    MissRateStudy study(evaluator(), NodeConfig::bestMean());
+    auto series = study.run();
+    ASSERT_EQ(series.size(), 8u);
+    for (const MissRateSeries &s : series) {
+        ASSERT_EQ(s.points.size(), 6u);
+        EXPECT_NEAR(s.points.front().normPerf, 1.0, 1e-9);
+        for (size_t i = 1; i < s.points.size(); ++i) {
+            EXPECT_LE(s.points[i].normPerf,
+                      s.points[i - 1].normPerf + 1e-9);
+        }
+    }
+}
+
+TEST(MissRate, CustomRates)
+{
+    MissRateStudy study(evaluator(), NodeConfig::bestMean());
+    auto s = study.run(App::SNAP, {0.0, 0.5});
+    ASSERT_EQ(s.points.size(), 2u);
+    EXPECT_EQ(s.app, App::SNAP);
+    EXPECT_LT(s.points[1].normPerf, 1.0);
+}
+
+TEST(ExtMemStudy, CoversBothConfigsAndAllApps)
+{
+    ExternalMemoryStudy study(evaluator(), NodeConfig::bestMean());
+    auto bars = study.run();
+    ASSERT_EQ(bars.size(), 16u);
+    int dram_only = 0;
+    int hybrid = 0;
+    for (const ExtMemBar &b : bars) {
+        if (b.configName == "3D DRAM only")
+            ++dram_only;
+        else if (b.configName == "3D DRAM + NVM")
+            ++hybrid;
+        EXPECT_GT(b.power.total(), 0.0);
+    }
+    EXPECT_EQ(dram_only, 8);
+    EXPECT_EQ(hybrid, 8);
+}
+
+TEST(PerfPerWatt, SelfComparisonIsZero)
+{
+    PerfPerWattStudy study(evaluator(), NodeConfig::bestMean(),
+                           NodeConfig::bestMean());
+    for (const PerfPerWattRow &r : study.run())
+        EXPECT_NEAR(r.improvementPct, 0.0, 1e-9);
+}
+
+TEST(PerfPerWatt, OptimizationsAloneImproveEveryApp)
+{
+    // Same hardware point, optimizations on: perf unchanged, power
+    // lower, so perf/W must rise for every kernel.
+    NodeConfig opt = NodeConfig::bestMean();
+    opt.opts = PowerOptConfig::all();
+    PerfPerWattStudy study(evaluator(), NodeConfig::bestMean(), opt);
+    for (const PerfPerWattRow &r : study.run())
+        EXPECT_GT(r.improvementPct, 5.0) << appName(r.app);
+}
+
+TEST(Exascale, LinearScalingWithCus)
+{
+    ExascaleProjector proj(evaluator());
+    auto points = proj.sweepCus({192, 256, 320});
+    ASSERT_EQ(points.size(), 3u);
+    // Perf scales linearly in CU count for MaxFlops.
+    double per_cu_0 = points[0].systemExaflops / points[0].cus;
+    double per_cu_2 = points[2].systemExaflops / points[2].cus;
+    EXPECT_NEAR(per_cu_0, per_cu_2, per_cu_0 * 0.01);
+    // Power grows monotonically but sublinearly (fixed overheads).
+    EXPECT_GT(points[2].systemMw, points[1].systemMw);
+    EXPECT_GT(points[1].systemMw, points[0].systemMw);
+    EXPECT_LT(points[2].systemMw / points[0].systemMw,
+              320.0 / 192.0);
+}
+
+TEST(Exascale, NodeCountScalesSystemNumbers)
+{
+    ExascaleProjector half(evaluator(), 50000);
+    ExascaleProjector full(evaluator(), 100000);
+    NodeConfig cfg;
+    cfg.bwTbs = 1.0;
+    EXPECT_NEAR(full.systemExaflops(cfg, App::MaxFlops),
+                2.0 * half.systemExaflops(cfg, App::MaxFlops), 1e-9);
+    EXPECT_NEAR(full.systemMw(cfg, App::MaxFlops),
+                2.0 * half.systemMw(cfg, App::MaxFlops), 1e-9);
+}
+
+TEST(ThermalStudyDriver, RowsForEveryApp)
+{
+    NodeEvaluator eval;
+    DesignSpaceExplorer dse(eval, DseGrid::paperGrid(), 160.0);
+    auto table2 = dse.tableII(NodeConfig::bestMean());
+    ThermalStudy thermal(eval);
+    auto rows = thermal.run(NodeConfig::bestMean(), table2);
+    ASSERT_EQ(rows.size(), 8u);
+    for (const ThermalRow &r : rows) {
+        EXPECT_GT(r.bestMeanPeakC, 50.0);
+        EXPECT_LT(r.bestMeanPeakC, EhpPackageModel::dramLimitC);
+        EXPECT_GT(r.bestPerAppPeakC, 50.0);
+        EXPECT_LT(r.bestPerAppPeakC, EhpPackageModel::dramLimitC);
+    }
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the CPU cluster traffic model and the Amdahl
+ * provisioning model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/amdahl.hh"
+#include "cpu/cpu_cluster.hh"
+#include "gpu/mem_stack_endpoint.hh"
+#include "mem/address_map.hh"
+#include "mem/hbm_stack.hh"
+#include "noc/interposer_network.hh"
+#include "noc/topology.hh"
+#include "sim/simulation.hh"
+#include "util/string_utils.hh"
+
+using namespace ena;
+
+namespace {
+
+struct CpuFixture : testing::Test
+{
+    Simulation sim;
+    Topology topo = Topology::ehp(2, 2);
+    AddressMap addrMap{2};
+    InterposerNetwork *net = nullptr;
+    std::vector<HbmStack *> stacks;
+
+    CpuCluster *
+    build(CpuClusterParams cc)
+    {
+        net = sim.create<InterposerNetwork>("noc", topo,
+                                            InterposerParams{});
+        for (int i = 0; i < 2; ++i) {
+            auto *stack = sim.create<HbmStack>(
+                strformat("hbm%d", i),
+                HbmParams::forAggregateBandwidth(200.0, 2));
+            stacks.push_back(stack);
+            sim.create<MemStackEndpoint>(
+                strformat("hbm%d.port", i),
+                topo.nodeOf(NodeKind::MemStack, i), *stack, *net);
+        }
+        auto *cpu = sim.create<CpuCluster>(
+            "cpu0", topo.nodeOf(NodeKind::CpuCluster, 0), cc, addrMap,
+            *net);
+        for (int s = 0; s < 2; ++s)
+            cpu->setStackNode(s, topo.nodeOf(NodeKind::MemStack, s));
+        return cpu;
+    }
+};
+
+} // anonymous namespace
+
+TEST_F(CpuFixture, GeneratesBoundedTraffic)
+{
+    CpuClusterParams cc;
+    cc.maxAccesses = 100;
+    CpuCluster *cpu = build(cc);
+    sim.run();
+    EXPECT_EQ(cpu->accessesIssued(), 100u);
+    // All accesses reached a stack.
+    EXPECT_GT(stacks[0]->bytesServed() + stacks[1]->bytesServed(), 0.0);
+}
+
+TEST_F(CpuFixture, QuiesceStopsIssuing)
+{
+    CpuClusterParams cc;
+    CpuCluster *cpu = build(cc);
+    sim.initAll();
+    sim.run(sim.curTick() + 10 * tickPerUs);
+    std::uint64_t before = cpu->accessesIssued();
+    EXPECT_GT(before, 0u);
+    cpu->quiesce();
+    sim.run();
+    // At most events already in flight complete; no new issues.
+    EXPECT_LE(cpu->accessesIssued(), before + 1);
+}
+
+TEST_F(CpuFixture, RateScalesWithAccessGap)
+{
+    CpuClusterParams slow;
+    slow.accessNsPerCore = 1600.0;
+    slow.maxAccesses = 1u << 30;
+    CpuCluster *cpu = build(slow);
+    sim.initAll();
+    sim.run(sim.curTick() + 50 * tickPerUs);
+    double measured = static_cast<double>(cpu->accessesIssued());
+    // Expected ~ 50 us / (1600 ns / 16 cores) = 500 accesses.
+    EXPECT_NEAR(measured, 500.0, 150.0);
+}
+
+TEST(Amdahl, SpeedupMonotonicInCores)
+{
+    AmdahlModel m(PhaseSplit{});
+    double prev = 0.0;
+    for (int c : {1, 2, 4, 8, 16, 32}) {
+        double s = m.speedup(c);
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(Amdahl, SerialFractionLimitsSpeedup)
+{
+    PhaseSplit heavy;
+    heavy.serialFraction = 0.5;
+    PhaseSplit light;
+    light.serialFraction = 0.01;
+    AmdahlModel mh(heavy);
+    AmdahlModel ml(light);
+    EXPECT_GT(ml.speedup(32), mh.speedup(32));
+}
+
+TEST(Amdahl, DiminishingReturnsJustifyModestCoreCount)
+{
+    // The EHP provisions 32 CPU cores; the model's knee must land in
+    // the same few-tens regime rather than hundreds.
+    AmdahlModel m(PhaseSplit{});
+    int cores = m.coresForDiminishingReturns(0.05);
+    EXPECT_GE(cores, 4);
+    EXPECT_LE(cores, 64);
+}
+
+TEST(Amdahl, EffectiveTeraflopsScaled)
+{
+    AmdahlModel m(PhaseSplit{});
+    EXPECT_GT(m.effectiveTeraflops(32), 0.0);
+}
+
+TEST(AmdahlDeathTest, ZeroCoresPanics)
+{
+    AmdahlModel m(PhaseSplit{});
+    EXPECT_DEATH(m.speedup(0), "at least one core");
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the in-order CPU core timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_core.hh"
+#include "sim/simulation.hh"
+
+using namespace ena;
+
+namespace {
+
+double
+ipcOf(SerialSectionProfile profile, CpuCoreParams params = {},
+      std::uint64_t instructions = 200000)
+{
+    Simulation sim;
+    auto *core = sim.create<CpuCore>("core", params, profile, 17);
+    core->execute(instructions);
+    sim.run();
+    EXPECT_TRUE(core->done());
+    EXPECT_EQ(core->instructionsRetired(), instructions);
+    return core->ipc();
+}
+
+} // anonymous namespace
+
+TEST(CpuCore, PureAluRunsAtOneIpc)
+{
+    SerialSectionProfile p;
+    p.memFraction = 0.0;
+    p.branchFraction = 0.0;
+    EXPECT_NEAR(ipcOf(p), 1.0, 1e-9);
+}
+
+TEST(CpuCore, BranchMispredictionsCostIpc)
+{
+    SerialSectionProfile clean;
+    clean.memFraction = 0.0;
+    clean.branchFraction = 0.2;
+    clean.branchMissRate = 0.0;
+    SerialSectionProfile missy = clean;
+    missy.branchMissRate = 0.1;
+    double ipc_clean = ipcOf(clean);
+    double ipc_missy = ipcOf(missy);
+    EXPECT_NEAR(ipc_clean, 1.0, 1e-9);
+    // Expected: 1 / (1 + 0.2*0.1*14) = 0.781.
+    EXPECT_NEAR(ipc_missy, 0.781, 0.02);
+}
+
+TEST(CpuCore, CacheResidentWorkloadOnlyPaysHitLatency)
+{
+    SerialSectionProfile p;
+    p.memFraction = 0.3;
+    p.branchFraction = 0.0;
+    p.workingSetBytes = 16 << 10;   // fits the 32 KiB L1
+    p.spatialLocality = 0.9;
+    double ipc = ipcOf(p);
+    // 1 + 0.3*(3-1) = 1.6 cycles/inst after warmup -> IPC ~0.625.
+    EXPECT_GT(ipc, 0.52);
+    EXPECT_LT(ipc, 0.68);
+}
+
+TEST(CpuCore, ThrashingWorkingSetTanksIpc)
+{
+    SerialSectionProfile fits;
+    fits.memFraction = 0.3;
+    fits.workingSetBytes = 16 << 10;
+    SerialSectionProfile thrash = fits;
+    thrash.workingSetBytes = 64ull << 20;
+    thrash.spatialLocality = 0.1;
+    EXPECT_GT(ipcOf(fits), 3.0 * ipcOf(thrash));
+}
+
+TEST(CpuCore, HigherClockSameIpcLessTime)
+{
+    SerialSectionProfile p;
+    CpuCoreParams slow;
+    slow.clockGhz = 1.0;
+    CpuCoreParams fast;
+    fast.clockGhz = 2.0;
+
+    Simulation s1;
+    auto *c1 = s1.create<CpuCore>("c", slow, p, 5);
+    c1->execute(50000);
+    s1.run();
+    Simulation s2;
+    auto *c2 = s2.create<CpuCore>("c", fast, p, 5);
+    c2->execute(50000);
+    s2.run();
+
+    EXPECT_NEAR(c1->ipc(), c2->ipc(), 1e-9);
+    EXPECT_NEAR(static_cast<double>(s1.curTick()) / s2.curTick(), 2.0,
+                0.01);
+    EXPECT_NEAR(c2->mips() / c1->mips(), 2.0, 1e-6);
+}
+
+TEST(CpuCore, DeterministicForSeed)
+{
+    SerialSectionProfile p;
+    Simulation s1;
+    auto *c1 = s1.create<CpuCore>("c", CpuCoreParams{}, p, 42);
+    c1->execute(10000);
+    s1.run();
+    Simulation s2;
+    auto *c2 = s2.create<CpuCore>("c", CpuCoreParams{}, p, 42);
+    c2->execute(10000);
+    s2.run();
+    EXPECT_DOUBLE_EQ(c1->ipc(), c2->ipc());
+    EXPECT_EQ(s1.curTick(), s2.curTick());
+}
+
+TEST(CpuCore, ReusableAfterCompletion)
+{
+    Simulation sim;
+    auto *core = sim.create<CpuCore>("c", CpuCoreParams{},
+                                     SerialSectionProfile{}, 3);
+    core->execute(1000);
+    sim.run();
+    EXPECT_TRUE(core->done());
+    core->execute(1000);
+    sim.run();
+    EXPECT_EQ(core->instructionsRetired(), 2000u);
+}
+
+TEST(CpuCoreDeathTest, DoubleExecutePanics)
+{
+    Simulation sim;
+    auto *core = sim.create<CpuCore>("c", CpuCoreParams{},
+                                     SerialSectionProfile{}, 3);
+    core->execute(1000);
+    EXPECT_DEATH(core->execute(1000), "already busy");
+}

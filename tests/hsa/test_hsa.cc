@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for the HSA substrate: signals, AQL queues, task graphs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hsa/aql_queue.hh"
+#include "hsa/signal.hh"
+#include "hsa/task_graph.hh"
+#include "sim/simulation.hh"
+
+using namespace ena;
+
+// ---- signals ---------------------------------------------------------
+
+TEST(HsaSignal, DecrementFiresWaitersAtZero)
+{
+    HsaSignal s(2);
+    int fired = 0;
+    s.waitZero([&] { ++fired; });
+    s.decrement();
+    EXPECT_EQ(fired, 0);
+    s.decrement();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s.pendingWaiters(), 0u);
+}
+
+TEST(HsaSignal, WaitOnZeroFiresImmediately)
+{
+    HsaSignal s(0);
+    int fired = 0;
+    s.waitZero([&] { ++fired; });
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(HsaSignal, MultipleWaiters)
+{
+    HsaSignal s(1);
+    int fired = 0;
+    for (int i = 0; i < 5; ++i)
+        s.waitZero([&] { ++fired; });
+    s.decrement();
+    EXPECT_EQ(fired, 5);
+}
+
+TEST(HsaSignal, ReArmWithSet)
+{
+    HsaSignal s(1);
+    int fired = 0;
+    s.waitZero([&] { ++fired; });
+    s.decrement();
+    s.set(1);
+    s.waitZero([&] { ++fired; });
+    s.decrement();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(HsaSignalDeathTest, UnderflowPanics)
+{
+    HsaSignal s(0, "x");
+    EXPECT_DEATH(s.decrement(), "below 0");
+}
+
+// ---- AQL queue -------------------------------------------------------
+
+namespace {
+
+AqlPacket
+packet(Tick dur, HsaSignal *done, HsaSignal *barrier = nullptr)
+{
+    AqlPacket p;
+    p.kernelTicks = dur;
+    p.completion = done;
+    p.barrier = barrier;
+    return p;
+}
+
+} // anonymous namespace
+
+TEST(AqlQueue, DispatchAddsLatencyAndRunsKernel)
+{
+    Simulation sim;
+    AqlQueueParams qp;
+    qp.dispatchLatency = 100;
+    auto *q = sim.create<AqlQueue>("q", qp);
+    sim.initAll();
+    HsaSignal done(1);
+    q->submit(packet(1000, &done));
+    sim.run();
+    EXPECT_EQ(done.value(), 0);
+    EXPECT_EQ(sim.curTick(), 1100u);
+    EXPECT_TRUE(q->idle());
+    EXPECT_EQ(q->packetsDispatched(), 1u);
+}
+
+TEST(AqlQueue, ConcurrencyLimitSerializesExcess)
+{
+    Simulation sim;
+    AqlQueueParams qp;
+    qp.dispatchLatency = 0;
+    qp.deviceConcurrency = 2;
+    auto *q = sim.create<AqlQueue>("q", qp);
+    sim.initAll();
+    HsaSignal done(4);
+    for (int i = 0; i < 4; ++i)
+        q->submit(packet(1000, &done));
+    sim.run();
+    EXPECT_EQ(done.value(), 0);
+    // Two waves of two kernels each.
+    EXPECT_EQ(sim.curTick(), 2000u);
+}
+
+TEST(AqlQueue, BarrierPacketWaitsForSignal)
+{
+    Simulation sim;
+    auto *q = sim.create<AqlQueue>("q", AqlQueueParams{});
+    sim.initAll();
+    HsaSignal gate(1);
+    HsaSignal done(1);
+    q->submit(packet(1000, &done, &gate));
+    sim.run();
+    EXPECT_EQ(done.value(), 1);   // still gated
+    gate.decrement();
+    sim.run();
+    EXPECT_EQ(done.value(), 0);
+}
+
+TEST(AqlQueue, BarrierBlocksYoungerPackets)
+{
+    // In-order consumption: a gated head packet holds back the rest.
+    Simulation sim;
+    AqlQueueParams qp;
+    qp.dispatchLatency = 0;
+    auto *q = sim.create<AqlQueue>("q", qp);
+    sim.initAll();
+    HsaSignal gate(1);
+    HsaSignal first(1);
+    HsaSignal second(1);
+    q->submit(packet(100, &first, &gate));
+    q->submit(packet(100, &second));
+    sim.run();
+    EXPECT_EQ(second.value(), 1);
+    gate.decrement();
+    sim.run();
+    EXPECT_EQ(first.value(), 0);
+    EXPECT_EQ(second.value(), 0);
+}
+
+TEST(AqlQueueDeathTest, RingOverflowIsFatal)
+{
+    Simulation sim;
+    AqlQueueParams qp;
+    qp.ringSlots = 2;
+    qp.deviceConcurrency = 1;
+    qp.dispatchLatency = 0;
+    auto *q = sim.create<AqlQueue>("q", qp);
+    sim.initAll();
+    HsaSignal done(3);
+    q->submit(packet(1000, &done));   // runs
+    q->submit(packet(1000, &done));   // queued
+    q->submit(packet(1000, &done));   // queued
+    EXPECT_EXIT(q->submit(packet(1000, &done)),
+                testing::ExitedWithCode(1), "overflow");
+}
+
+// ---- task graph ------------------------------------------------------
+
+namespace {
+
+struct GraphFixture : testing::Test
+{
+    Simulation sim;
+    std::vector<AqlQueue *> queues;
+    TaskGraph *graph = nullptr;
+
+    void
+    build(int nqueues, Tick dispatch_latency = 0)
+    {
+        AqlQueueParams qp;
+        qp.dispatchLatency = dispatch_latency;
+        qp.ringSlots = 256;
+        for (int i = 0; i < nqueues; ++i) {
+            queues.push_back(sim.create<AqlQueue>(
+                "q" + std::to_string(i), qp));
+        }
+        graph = sim.create<TaskGraph>("g", queues);
+    }
+};
+
+} // anonymous namespace
+
+TEST_F(GraphFixture, ChainRunsSequentially)
+{
+    build(1);
+    TaskId a = graph->addTask(100, 0);
+    TaskId b = graph->addTask(200, 0, {a});
+    TaskId c = graph->addTask(300, 0, {b});
+    sim.initAll();
+    graph->start();
+    sim.run();
+    EXPECT_TRUE(graph->finished());
+    EXPECT_EQ(graph->makespan(), 600u);
+    EXPECT_EQ(graph->criticalPath(), 600u);
+    EXPECT_LT(graph->task(a).finishedAt, graph->task(b).finishedAt);
+    EXPECT_LT(graph->task(b).finishedAt, graph->task(c).finishedAt);
+}
+
+TEST_F(GraphFixture, IndependentTasksRunInParallel)
+{
+    build(4);
+    for (int i = 0; i < 4; ++i)
+        graph->addTask(1000, i);
+    sim.initAll();
+    graph->start();
+    sim.run();
+    EXPECT_EQ(graph->makespan(), 1000u);
+    EXPECT_EQ(graph->criticalPath(), 1000u);
+}
+
+TEST_F(GraphFixture, DiamondRespectsBothDependencies)
+{
+    build(2);
+    TaskId a = graph->addTask(100, 0);
+    TaskId b = graph->addTask(500, 0, {a});
+    TaskId c = graph->addTask(100, 1, {a});
+    TaskId d = graph->addTask(100, 0, {b, c});
+    sim.initAll();
+    graph->start();
+    sim.run();
+    // d starts only after the slower of b and c.
+    EXPECT_EQ(graph->task(d).finishedAt, 700u);
+    EXPECT_EQ(graph->criticalPath(), 700u);
+    EXPECT_TRUE(graph->task(c).done);
+}
+
+TEST_F(GraphFixture, MakespanAtLeastCriticalPath)
+{
+    build(2, /*dispatch latency=*/50);
+    // A 4x4 sweep over 2 queues.
+    std::vector<std::vector<TaskId>> grid(4, std::vector<TaskId>(4));
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            std::vector<TaskId> deps;
+            if (i)
+                deps.push_back(grid[i - 1][j]);
+            if (j)
+                deps.push_back(grid[i][j - 1]);
+            grid[i][j] = graph->addTask(100, (i + j) % 2, deps);
+        }
+    }
+    sim.initAll();
+    graph->start();
+    sim.run();
+    EXPECT_TRUE(graph->finished());
+    EXPECT_GE(graph->makespan(), graph->criticalPath());
+    EXPECT_EQ(graph->criticalPath(), 700u);   // 7 tasks x 100
+}
+
+TEST_F(GraphFixture, DispatchLatencyLengthensCriticalChains)
+{
+    build(1, 0);
+    TaskId prev = graph->addTask(100, 0);
+    for (int i = 0; i < 9; ++i)
+        prev = graph->addTask(100, 0, {prev});
+    sim.initAll();
+    graph->start();
+    sim.run();
+    Tick cheap = graph->makespan();
+    EXPECT_EQ(cheap, 1000u);
+
+    // Same chain with a 1000-tick launch cost dominates the kernels.
+    Simulation sim2;
+    AqlQueueParams qp;
+    qp.dispatchLatency = 1000;
+    qp.ringSlots = 64;
+    auto *q2 = sim2.create<AqlQueue>("q", qp);
+    auto *g2 = sim2.create<TaskGraph>("g", std::vector<AqlQueue *>{q2});
+    TaskId p2 = g2->addTask(100, 0);
+    for (int i = 0; i < 9; ++i)
+        p2 = g2->addTask(100, 0, {p2});
+    sim2.initAll();
+    g2->start();
+    sim2.run();
+    EXPECT_EQ(g2->makespan(), 11000u);
+}
+
+TEST_F(GraphFixture, DeathOnForwardDependency)
+{
+    build(1);
+    graph->addTask(100, 0);
+    EXPECT_DEATH(graph->addTask(100, 0, {5}), "topological");
+}

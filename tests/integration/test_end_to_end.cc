@@ -1,0 +1,107 @@
+/**
+ * @file
+ * End-to-end integration tests: the complete analytic pipeline from
+ * DSE through per-figure studies, cross-checking consistency between
+ * the pieces the way the benches consume them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ena.hh"
+#include "core/thermal_study.hh"
+
+using namespace ena;
+
+namespace {
+
+struct Pipeline
+{
+    NodeEvaluator eval;
+    DesignSpaceExplorer dse{eval, DseGrid::paperGrid(),
+                            cal::nodePowerBudgetW};
+    NodeConfig bestMean = dse.findBestMean(PowerOptConfig::none());
+};
+
+Pipeline &
+pipeline()
+{
+    static Pipeline p;
+    return p;
+}
+
+} // anonymous namespace
+
+TEST(EndToEnd, BestMeanFeedsEveryStudyConsistently)
+{
+    Pipeline &p = pipeline();
+
+    // Fig. 4-6 normalization point is the same config the DSE found.
+    OpbSweepStudy opb(p.eval, p.bestMean);
+    auto curves = opb.sweepFrequency(App::MaxFlops, {p.bestMean.bwTbs},
+                                     {p.bestMean.freqGhz});
+    EXPECT_NEAR(curves[0].points[0].normPerf, 1.0, 1e-9);
+
+    // Fig. 8's zero-miss point equals the Fig. 4-6 model's output.
+    MissRateStudy miss(p.eval, p.bestMean);
+    auto series = miss.run(App::CoMD, {0.0});
+    EXPECT_NEAR(series.points[0].normPerf, 1.0, 1e-9);
+}
+
+TEST(EndToEnd, TableIIConfigsAreThermallyViable)
+{
+    // The Fig. 10 premise: every Table II configuration must also pass
+    // the 85 C check.
+    Pipeline &p = pipeline();
+    auto rows = p.dse.tableII(p.bestMean);
+    ThermalStudy thermal(p.eval);
+    for (const TableIIRow &row : rows) {
+        double peak = thermal.peakDramC(row.bestConfig, row.app);
+        EXPECT_LT(peak, EhpPackageModel::dramLimitC)
+            << appName(row.app) << " @ " << row.bestConfig.label();
+    }
+}
+
+TEST(EndToEnd, BudgetHoldsAcrossExternalMemoryConfigs)
+{
+    // Swapping the external-memory network must not change the
+    // package-side power (the budget scope changes only through the
+    // provisioned static external power).
+    Pipeline &p = pipeline();
+    NodeConfig hybrid = p.bestMean;
+    hybrid.ext = ExtMemConfig::hybrid();
+    for (App app : allApps()) {
+        double pkg_dram =
+            p.eval.evaluate(p.bestMean, app).power.packagePower();
+        double pkg_hybrid =
+            p.eval.evaluate(hybrid, app).power.packagePower();
+        EXPECT_NEAR(pkg_dram, pkg_hybrid, 1e-9) << appName(app);
+    }
+}
+
+TEST(EndToEnd, OptimizedConfigKeepsThermalHeadroom)
+{
+    Pipeline &p = pipeline();
+    NodeConfig opt = p.dse.findBestMean(PowerOptConfig::all());
+    opt.opts = PowerOptConfig::all();
+    ThermalStudy thermal(p.eval);
+    for (App app : allApps()) {
+        EXPECT_LT(thermal.peakDramC(opt, app),
+                  EhpPackageModel::dramLimitC)
+            << appName(app);
+    }
+}
+
+TEST(EndToEnd, CachedBestMeanHelpersAgreeWithDse)
+{
+    Pipeline &p = pipeline();
+    NodeConfig cached = discoveredBestMean(p.eval);
+    EXPECT_EQ(cached.cus, p.bestMean.cus);
+    EXPECT_DOUBLE_EQ(cached.freqGhz, p.bestMean.freqGhz);
+    EXPECT_DOUBLE_EQ(cached.bwTbs, p.bestMean.bwTbs);
+}
+
+TEST(EndToEnd, VersionStringPresent)
+{
+    EXPECT_NE(std::string(versionString()).find("ena-sim"),
+              std::string::npos);
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Integration tests of the cycle-level two-level-memory study: the
+ * software-managed MemoryManager and the external SerDes network wired
+ * behind the chiplet L2s.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/twolevel_study.hh"
+
+using namespace ena;
+
+namespace {
+
+TwoLevelParams
+quick()
+{
+    TwoLevelParams p;
+    p.cusPerChiplet = 2;
+    p.wavefrontsPerCu = 4;
+    p.memOpsPerWavefront = 300;
+    return p;
+}
+
+} // anonymous namespace
+
+TEST(TwoLevelStudy, FullCapacityHasNoMisses)
+{
+    TwoLevelStudy study;
+    TwoLevelPoint p = study.run(App::XSBench, quick(), 1.0);
+    EXPECT_NEAR(p.achievedMissRate, 0.0, 1e-9);
+    EXPECT_GT(p.runtimeUs, 0.0);
+}
+
+TEST(TwoLevelStudy, ShrinkingCapacityRaisesMissRate)
+{
+    TwoLevelStudy study;
+    auto points =
+        study.sweep(App::XSBench, quick(), {1.0, 0.25, 0.125});
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_LT(points[0].achievedMissRate, points[1].achievedMissRate);
+    EXPECT_LT(points[1].achievedMissRate, points[2].achievedMissRate);
+}
+
+TEST(TwoLevelStudy, MissesCostPerformance)
+{
+    // The Fig. 8 mechanism must emerge from the simulation: more
+    // off-package accesses -> longer runtime.
+    TwoLevelStudy study;
+    auto points = study.sweep(App::XSBench, quick(), {1.0, 0.125});
+    EXPECT_NEAR(points[0].normPerf, 1.0, 1e-9);
+    EXPECT_LT(points[1].normPerf, 0.9);
+    EXPECT_GT(points[1].normPerf, 0.1);
+}
+
+TEST(TwoLevelStudy, Deterministic)
+{
+    TwoLevelStudy study;
+    TwoLevelPoint a = study.run(App::CoMD, quick(), 0.25);
+    TwoLevelPoint b = study.run(App::CoMD, quick(), 0.25);
+    EXPECT_DOUBLE_EQ(a.runtimeUs, b.runtimeUs);
+    EXPECT_DOUBLE_EQ(a.achievedMissRate, b.achievedMissRate);
+}
+
+TEST(TwoLevelStudyDeathTest, BadFractionPanics)
+{
+    TwoLevelStudy study;
+    EXPECT_DEATH(study.run(App::CoMD, quick(), 0.0),
+                 "capacity fraction");
+}

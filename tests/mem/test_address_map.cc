@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the address-to-stack mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_map.hh"
+
+using namespace ena;
+
+TEST(AddressMap, InterleavesPagesAcrossStacks)
+{
+    AddressMap m(8, 4096);
+    for (std::uint64_t page = 0; page < 64; ++page) {
+        EXPECT_EQ(m.stackFor(page * 4096),
+                  static_cast<int>(page % 8));
+    }
+}
+
+TEST(AddressMap, SamePageSameStack)
+{
+    AddressMap m(8, 4096);
+    int home = m.stackFor(0x12345000);
+    for (std::uint64_t off = 0; off < 4096; off += 64)
+        EXPECT_EQ(m.stackFor(0x12345000 + off), home);
+}
+
+TEST(AddressMap, CoverageIsEven)
+{
+    AddressMap m(8, 4096);
+    std::vector<int> counts(8, 0);
+    for (std::uint64_t page = 0; page < 8000; ++page)
+        ++counts[m.stackFor(page * 4096)];
+    for (int c : counts)
+        EXPECT_EQ(c, 1000);
+}
+
+TEST(AddressMap, FullyLocalRegion)
+{
+    AddressMap m(8, 4096);
+    m.addRegion(1ull << 30, 1ull << 20, 3, 1.0);
+    for (std::uint64_t off = 0; off < (1ull << 20); off += 4096)
+        EXPECT_EQ(m.stackFor((1ull << 30) + off), 3);
+}
+
+TEST(AddressMap, ZeroLocalityFallsBackToInterleave)
+{
+    AddressMap m(8, 4096);
+    m.addRegion(0, 1ull << 24, 5, 0.0);
+    std::vector<int> counts(8, 0);
+    for (std::uint64_t page = 0; page < 4096; ++page)
+        ++counts[m.stackFor(page * 4096)];
+    for (int c : counts)
+        EXPECT_EQ(c, 512);
+}
+
+TEST(AddressMap, PartialLocalityShiftsDistribution)
+{
+    AddressMap m(8, 4096);
+    m.addRegion(0, 1ull << 26, 2, 0.4);
+    std::vector<int> counts(8, 0);
+    const int pages = 16384;
+    for (std::uint64_t page = 0; page < pages; ++page)
+        ++counts[m.stackFor(page * 4096)];
+    // Owner gets ~ 0.4 + 0.6/8 = 47.5% of pages.
+    EXPECT_NEAR(static_cast<double>(counts[2]) / pages, 0.475, 0.02);
+    // Everyone else ~ 0.6/8 = 7.5%.
+    EXPECT_NEAR(static_cast<double>(counts[5]) / pages, 0.075, 0.01);
+}
+
+TEST(AddressMap, PlacementIsDeterministic)
+{
+    AddressMap a(8, 4096);
+    AddressMap b(8, 4096);
+    a.addRegion(0, 1ull << 24, 1, 0.3);
+    b.addRegion(0, 1ull << 24, 1, 0.3);
+    for (std::uint64_t page = 0; page < 1024; ++page)
+        EXPECT_EQ(a.stackFor(page * 4096), b.stackFor(page * 4096));
+}
+
+TEST(AddressMap, OutsideRegionStillInterleaved)
+{
+    AddressMap m(4, 4096);
+    m.addRegion(1ull << 20, 1ull << 20, 0, 1.0);
+    std::uint64_t far_addr = 1ull << 30;
+    EXPECT_EQ(m.stackFor(far_addr),
+              static_cast<int>((far_addr / 4096) % 4));
+}
+
+TEST(AddressMapDeathTest, BadRegionParamsPanic)
+{
+    AddressMap m(4, 4096);
+    EXPECT_DEATH(m.addRegion(0, 4096, 9, 0.5), "bad owner");
+    EXPECT_DEATH(m.addRegion(0, 4096, 1, 1.5), "bad locality");
+}

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the FPC/BDI cache-line compressors and the synthetic
+ * compressibility measurement.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "mem/compression.hh"
+
+using namespace ena;
+
+namespace {
+
+CacheLine
+lineOfU32(std::uint32_t v)
+{
+    CacheLine l{};
+    for (size_t i = 0; i < 16; ++i)
+        std::memcpy(l.data() + i * 4, &v, 4);
+    return l;
+}
+
+CacheLine
+lineOfU64(std::uint64_t v)
+{
+    CacheLine l{};
+    for (size_t i = 0; i < 8; ++i)
+        std::memcpy(l.data() + i * 8, &v, 8);
+    return l;
+}
+
+} // anonymous namespace
+
+TEST(Fpc, ZeroLineIsTiny)
+{
+    CacheLine zero{};
+    // 16 words x 3 prefix bits = 48 bits = 6 bytes.
+    EXPECT_EQ(LineCompressor::fpcSize(zero), 6u);
+}
+
+TEST(Fpc, SmallSignedValuesCompress)
+{
+    // Values fitting 4 bits: 16 x (3+4) = 112 bits = 14 bytes.
+    EXPECT_EQ(LineCompressor::fpcSize(lineOfU32(5)), 14u);
+    // Negative small values sign-extend.
+    EXPECT_EQ(LineCompressor::fpcSize(lineOfU32(0xFFFFFFFF)), 14u);
+}
+
+TEST(Fpc, ByteAndHalfwordTiers)
+{
+    // 8-bit tier: 16 x (3+8) = 176 bits = 22 bytes.
+    EXPECT_EQ(LineCompressor::fpcSize(lineOfU32(100)), 22u);
+    // 16-bit tier: 16 x (3+16) = 304 bits = 38 bytes.
+    EXPECT_EQ(LineCompressor::fpcSize(lineOfU32(20000)), 38u);
+}
+
+TEST(Fpc, HalfwordPaddedPattern)
+{
+    // Upper halfword data, lower zeros: 3+16 per word.
+    EXPECT_EQ(LineCompressor::fpcSize(lineOfU32(0x4D2B0000u)), 38u);
+}
+
+TEST(Fpc, RepeatedBytePattern)
+{
+    // 0xABABABAB: 3+8 per word -> 22 bytes.
+    EXPECT_EQ(LineCompressor::fpcSize(lineOfU32(0xABABABABu)), 22u);
+}
+
+TEST(Fpc, IncompressibleCapsAt64)
+{
+    SyntheticData gen(5);
+    CacheLine rnd = gen.line(DataKind::RandomTable);
+    size_t s = LineCompressor::fpcSize(rnd);
+    // 3 extra prefix bits per word would exceed 64; capped.
+    EXPECT_EQ(s, 64u);
+}
+
+TEST(Bdi, ZeroAndRepeatedSpecialCases)
+{
+    CacheLine zero{};
+    EXPECT_EQ(LineCompressor::bdiSize(zero), 1u);
+    EXPECT_EQ(LineCompressor::bdiSize(lineOfU64(0x0123456789abcdefull)),
+              9u);
+}
+
+TEST(Bdi, Base8Delta1)
+{
+    CacheLine l{};
+    std::uint64_t base = 0x1000000000ull;
+    for (size_t i = 0; i < 8; ++i) {
+        std::uint64_t v = base + i;   // deltas fit one byte
+        std::memcpy(l.data() + i * 8, &v, 8);
+    }
+    // 8 (base) + 7 (deltas) + 1 (meta) = 16.
+    EXPECT_EQ(LineCompressor::bdiSize(l), 16u);
+}
+
+TEST(Bdi, Base4Delta2)
+{
+    CacheLine l{};
+    std::uint32_t base = 0x00800000u;
+    for (size_t i = 0; i < 16; ++i) {
+        std::uint32_t v =
+            base + static_cast<std::uint32_t>(i * 1000);  // 2-byte deltas
+        std::memcpy(l.data() + i * 4, &v, 4);
+    }
+    // Best fit: 4 + 15*2 + 1 = 35.
+    EXPECT_EQ(LineCompressor::bdiSize(l), 35u);
+}
+
+TEST(Bdi, RandomDataIncompressible)
+{
+    SyntheticData gen(9);
+    EXPECT_EQ(LineCompressor::bdiSize(gen.line(DataKind::RandomTable)),
+              64u);
+}
+
+TEST(Compression, BestPicksTheSmaller)
+{
+    CacheLine small = lineOfU32(5);
+    EXPECT_EQ(LineCompressor::compressedSize(small, CompressScheme::Best),
+              std::min(LineCompressor::fpcSize(small),
+                       LineCompressor::bdiSize(small)));
+}
+
+TEST(Compression, RatioAlwaysAtLeastOne)
+{
+    SyntheticData gen(11);
+    for (DataKind k : {DataKind::ZeroFill, DataKind::SmoothField,
+                       DataKind::IndexArray, DataKind::RandomTable,
+                       DataKind::Mixed}) {
+        for (int i = 0; i < 50; ++i) {
+            double r =
+                LineCompressor::ratio(gen.line(k), CompressScheme::Best);
+            EXPECT_GE(r, 1.0);
+            EXPECT_LE(r, 64.0);
+        }
+    }
+}
+
+TEST(Compression, SmoothFieldsBeatRandomTables)
+{
+    // The mechanism behind the paper's "LULESH benefits the most":
+    // its PDE fields compress; XSBench's cross-section tables do not.
+    TrafficCompressionModel model;
+    double lulesh =
+        model.measureRatio(App::LULESH, CompressScheme::Best, 500);
+    double xsbench =
+        model.measureRatio(App::XSBench, CompressScheme::Best, 500);
+    EXPECT_GT(lulesh, xsbench * 1.3);
+    EXPECT_GT(lulesh, 1.4);
+    EXPECT_LT(xsbench, 1.3);
+}
+
+TEST(Compression, MeasuredRatiosTrackProfileOrdering)
+{
+    // The per-app compressRatio used by the power model should order
+    // the same way the measured synthetic streams do.
+    TrafficCompressionModel model;
+    double lulesh =
+        model.measureRatio(App::LULESH, CompressScheme::Best, 500);
+    double comd =
+        model.measureRatio(App::CoMD, CompressScheme::Best, 500);
+    double xs =
+        model.measureRatio(App::XSBench, CompressScheme::Best, 500);
+    EXPECT_GT(lulesh, comd);
+    EXPECT_GT(comd, xs);
+    EXPECT_GT(profileFor(App::LULESH).compressRatio,
+              profileFor(App::CoMD).compressRatio);
+    EXPECT_GT(profileFor(App::CoMD).compressRatio,
+              profileFor(App::XSBench).compressRatio);
+}
+
+TEST(Compression, MeasurementIsDeterministic)
+{
+    TrafficCompressionModel model;
+    EXPECT_DOUBLE_EQ(
+        model.measureRatio(App::SNAP, CompressScheme::Fpc, 200, 3),
+        model.measureRatio(App::SNAP, CompressScheme::Fpc, 200, 3));
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the external-memory network: chain construction,
+ * module placement, DRAM vs NVM timing, and interface serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/ext_memory.hh"
+#include "sim/simulation.hh"
+
+using namespace ena;
+
+namespace {
+
+struct ExtFixture : testing::Test
+{
+    Simulation sim;
+
+    ExternalMemoryNetwork *
+    build(const ExtMemConfig &cfg)
+    {
+        auto *net = sim.create<ExternalMemoryNetwork>("ext", cfg);
+        sim.initAll();
+        return net;
+    }
+
+    double
+    timedAccess(ExternalMemoryNetwork *net, std::uint64_t addr,
+                bool write)
+    {
+        Tick start = sim.curTick();
+        Tick done_at = 0;
+        net->access(addr, 64, write, [&] { done_at = sim.curTick(); });
+        sim.run();
+        return static_cast<double>(done_at - start) / tickPerNs;
+    }
+};
+
+} // anonymous namespace
+
+TEST_F(ExtFixture, DramOnlyModuleCount)
+{
+    auto *net = build(ExtMemConfig::dramOnly());
+    // 768 GB / 64 GB modules = 12 modules over 8 interfaces.
+    EXPECT_EQ(net->totalModules(), 12);
+    EXPECT_EQ(net->numInterfaces(), 8);
+}
+
+TEST_F(ExtFixture, HybridHasFewerModules)
+{
+    auto *net = build(ExtMemConfig::hybrid());
+    // 384 GB DRAM (6 modules) + 384 GB NVM (2 modules of 256 GB).
+    EXPECT_EQ(net->totalModules(), 8);
+}
+
+TEST_F(ExtFixture, DramOnlyAddressesNeverReachNvm)
+{
+    auto *net = build(ExtMemConfig::dramOnly());
+    for (std::uint64_t a = 0; a < 64; ++a) {
+        EXPECT_EQ(static_cast<int>(net->techOf(a * (1ull << 21))),
+                  static_cast<int>(ExtMemTech::Dram));
+    }
+}
+
+TEST_F(ExtFixture, HybridReachesBothTechnologies)
+{
+    auto *net = build(ExtMemConfig::hybrid());
+    bool saw_dram = false;
+    bool saw_nvm = false;
+    for (std::uint64_t a = 0; a < 4096; ++a) {
+        ExtMemTech t = net->techOf(a * (1ull << 20));
+        saw_dram |= t == ExtMemTech::Dram;
+        saw_nvm |= t == ExtMemTech::Nvm;
+    }
+    EXPECT_TRUE(saw_dram);
+    EXPECT_TRUE(saw_nvm);
+}
+
+TEST_F(ExtFixture, DeeperModulesAreSlower)
+{
+    auto *net = build(ExtMemConfig::dramOnly());
+    // Find two addresses at different chain depths on any interface.
+    std::uint64_t shallow = 0;
+    std::uint64_t deep = 0;
+    bool found = false;
+    for (std::uint64_t a = 0; a < 16384 && !found; ++a) {
+        std::uint64_t addr = a * (1ull << 20);
+        if (net->chainDepthOf(addr) == 0)
+            shallow = addr;
+        if (net->chainDepthOf(addr) >= 1) {
+            deep = addr;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found) << "no deep module found";
+    double t_shallow = timedAccess(net, shallow, false);
+    double t_deep = timedAccess(net, deep, false);
+    EXPECT_GT(t_deep, t_shallow);
+}
+
+TEST_F(ExtFixture, NvmWritesSlowerThanReads)
+{
+    auto *net = build(ExtMemConfig::hybrid());
+    std::uint64_t nvm_addr = 0;
+    bool found = false;
+    for (std::uint64_t a = 0; a < 8192 && !found; ++a) {
+        if (net->techOf(a * (1ull << 20)) == ExtMemTech::Nvm) {
+            nvm_addr = a * (1ull << 20);
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found);
+    double rd = timedAccess(net, nvm_addr, false);
+    double wr = timedAccess(net, nvm_addr, true);
+    EXPECT_GT(wr, rd + 100.0);
+    EXPECT_GE(net->nvmAccesses(), 2.0);
+}
+
+TEST_F(ExtFixture, NvmSlowerThanDram)
+{
+    auto *net = build(ExtMemConfig::hybrid());
+    std::uint64_t dram_addr = ~0ull;
+    std::uint64_t nvm_addr = ~0ull;
+    for (std::uint64_t a = 0; a < 8192; ++a) {
+        std::uint64_t addr = a * (1ull << 20);
+        // Compare at equal chain depth to isolate device latency; DRAM
+        // occupies the shallow slots, so depth 0 DRAM vs depth >=1 NVM
+        // biases *against* this check only via extra hops.
+        if (net->techOf(addr) == ExtMemTech::Dram && dram_addr == ~0ull)
+            dram_addr = addr;
+        if (net->techOf(addr) == ExtMemTech::Nvm && nvm_addr == ~0ull)
+            nvm_addr = addr;
+    }
+    ASSERT_NE(dram_addr, ~0ull);
+    ASSERT_NE(nvm_addr, ~0ull);
+    EXPECT_GT(timedAccess(net, nvm_addr, false),
+              timedAccess(net, dram_addr, false));
+}
+
+TEST_F(ExtFixture, InterfaceSerializationUnderBursts)
+{
+    auto *net = build(ExtMemConfig::dramOnly());
+    // Find many addresses on interface 0 (stripe % 8 == 0).
+    std::vector<Tick> done;
+    int issued = 0;
+    for (std::uint64_t stripe = 0; issued < 16; stripe += 8) {
+        net->access(stripe * (1ull << 20), 64, false,
+                    [&done, this] { done.push_back(sim.curTick()); });
+        ++issued;
+    }
+    sim.run();
+    ASSERT_EQ(done.size(), 16u);
+    auto [lo, hi] = std::minmax_element(done.begin(), done.end());
+    // 16 x 64 B at 100 GB/s per interface = ~9.6 ns of pure
+    // serialization spread.
+    EXPECT_GT(static_cast<double>(*hi - *lo), 0.0);
+}
+
+TEST_F(ExtFixture, BytesServedAccumulates)
+{
+    auto *net = build(ExtMemConfig::dramOnly());
+    timedAccess(net, 0, false);
+    timedAccess(net, 1ull << 20, true);
+    EXPECT_DOUBLE_EQ(net->bytesServed(), 128.0);
+}
+
+TEST(ExtMemConfig, CapacityHelpers)
+{
+    ExtMemConfig dram = ExtMemConfig::dramOnly();
+    EXPECT_DOUBLE_EQ(dram.totalGb(), 768.0);
+    EXPECT_EQ(dram.dramModules(), 12);
+    EXPECT_EQ(dram.nvmModules(), 0);
+    ExtMemConfig hy = ExtMemConfig::hybrid();
+    EXPECT_DOUBLE_EQ(hy.totalGb(), 768.0);
+    EXPECT_EQ(hy.dramModules(), 6);
+    EXPECT_EQ(hy.nvmModules(), 2);
+    EXPECT_DOUBLE_EQ(hy.aggregateGbs(), 800.0);
+}

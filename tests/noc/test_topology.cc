@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the EHP topology: node inventory, router mesh,
+ * routing-table correctness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/topology.hh"
+
+using namespace ena;
+
+TEST(Topology, DefaultEhpInventory)
+{
+    Topology t = Topology::ehp();
+    EXPECT_EQ(t.nodesOf(NodeKind::GpuChiplet).size(), 8u);
+    EXPECT_EQ(t.nodesOf(NodeKind::CpuCluster).size(), 2u);
+    EXPECT_EQ(t.nodesOf(NodeKind::MemStack).size(), 8u);
+    EXPECT_EQ(t.numRouters(), 10u);
+    EXPECT_EQ(t.nodes().size(), 18u);
+}
+
+TEST(Topology, StacksShareRouterWithTheirChiplet)
+{
+    Topology t = Topology::ehp();
+    for (int i = 0; i < 8; ++i) {
+        const TopologyNode &gpu = t.node(t.nodeOf(NodeKind::GpuChiplet, i));
+        const TopologyNode &hbm = t.node(t.nodeOf(NodeKind::MemStack, i));
+        EXPECT_EQ(gpu.router, hbm.router)
+            << "stack " << i << " not above its chiplet";
+    }
+}
+
+TEST(Topology, NamesAreStable)
+{
+    Topology t = Topology::ehp();
+    EXPECT_EQ(t.node(t.nodeOf(NodeKind::GpuChiplet, 0)).name, "gpu0");
+    EXPECT_EQ(t.node(t.nodeOf(NodeKind::MemStack, 7)).name, "hbm7");
+    EXPECT_EQ(t.node(t.nodeOf(NodeKind::CpuCluster, 1)).name, "cpu1");
+}
+
+TEST(Topology, AllRoutersReachable)
+{
+    Topology t = Topology::ehp();
+    for (std::uint32_t a = 0; a < t.numRouters(); ++a) {
+        for (std::uint32_t b = 0; b < t.numRouters(); ++b) {
+            std::uint32_t h = t.hopCount(a, b);
+            EXPECT_LT(h, t.numRouters());
+            if (a == b)
+                EXPECT_EQ(h, 0u);
+            else
+                EXPECT_GE(h, 1u);
+        }
+    }
+}
+
+TEST(Topology, HopCountSymmetric)
+{
+    Topology t = Topology::ehp();
+    for (std::uint32_t a = 0; a < t.numRouters(); ++a) {
+        for (std::uint32_t b = 0; b < t.numRouters(); ++b)
+            EXPECT_EQ(t.hopCount(a, b), t.hopCount(b, a));
+    }
+}
+
+TEST(Topology, NextHopWalksShortestPath)
+{
+    Topology t = Topology::ehp();
+    for (std::uint32_t a = 0; a < t.numRouters(); ++a) {
+        for (std::uint32_t b = 0; b < t.numRouters(); ++b) {
+            std::uint32_t at = a;
+            std::uint32_t steps = 0;
+            while (at != b) {
+                std::uint32_t nh = t.nextHop(at, b);
+                // Each step must reduce the remaining distance by one.
+                EXPECT_EQ(t.hopCount(nh, b) + 1, t.hopCount(at, b));
+                at = nh;
+                ++steps;
+                ASSERT_LE(steps, t.numRouters());
+            }
+            EXPECT_EQ(steps, t.hopCount(a, b));
+        }
+    }
+}
+
+TEST(Topology, MeshDiameterIsSmall)
+{
+    // 2 x 5 mesh: diameter = 4 + 1 = 5.
+    Topology t = Topology::ehp();
+    std::uint32_t max_h = 0;
+    for (std::uint32_t a = 0; a < t.numRouters(); ++a) {
+        for (std::uint32_t b = 0; b < t.numRouters(); ++b)
+            max_h = std::max(max_h, t.hopCount(a, b));
+    }
+    EXPECT_EQ(max_h, 5u);
+}
+
+TEST(Topology, ScaledVariants)
+{
+    Topology small = Topology::ehp(4, 2);
+    EXPECT_EQ(small.nodesOf(NodeKind::GpuChiplet).size(), 4u);
+    EXPECT_EQ(small.nodesOf(NodeKind::MemStack).size(), 4u);
+    EXPECT_EQ(small.numRouters(), 6u);
+
+    Topology big = Topology::ehp(16, 2);
+    EXPECT_EQ(big.nodesOf(NodeKind::GpuChiplet).size(), 16u);
+    EXPECT_EQ(big.numRouters(), 18u);
+}
+
+TEST(TopologyDeathTest, OddChipletCountIsFatal)
+{
+    EXPECT_EXIT(Topology::ehp(7, 2), testing::ExitedWithCode(1),
+                "even GPU chiplet count");
+}

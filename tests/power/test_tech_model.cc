@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the technology-scaling model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/tech_model.hh"
+
+using namespace ena;
+
+TEST(TechModel, DefaultRoadmapHasFourNodes)
+{
+    TechModel tm;
+    EXPECT_EQ(tm.generations(), 4u);
+    EXPECT_EQ(tm.indexOf("28nm"), 0u);
+    EXPECT_EQ(tm.indexOf("7nm"), 3u);
+}
+
+TEST(TechModel, IdentityScaling)
+{
+    TechModel tm;
+    EXPECT_DOUBLE_EQ(tm.capacitanceScale("14nm", "14nm"), 1.0);
+    EXPECT_DOUBLE_EQ(tm.leakageScale("7nm", "7nm"), 1.0);
+}
+
+TEST(TechModel, ForwardScalingShrinks)
+{
+    TechModel tm;
+    EXPECT_LT(tm.capacitanceScale("28nm", "7nm"), 1.0);
+    EXPECT_LT(tm.leakageScale("28nm", "7nm"), 1.0);
+    EXPECT_LT(tm.areaScale("28nm", "7nm"), 1.0);
+}
+
+TEST(TechModel, BackwardIsInverseOfForward)
+{
+    TechModel tm;
+    double fwd = tm.capacitanceScale("14nm", "7nm");
+    double bwd = tm.capacitanceScale("7nm", "14nm");
+    EXPECT_NEAR(fwd * bwd, 1.0, 1e-12);
+}
+
+TEST(TechModel, CumulativeIsProductOfSteps)
+{
+    TechModel tm;
+    double direct = tm.capacitanceScale("28nm", "10nm");
+    double stepped = tm.capacitanceScale("28nm", "14nm") *
+                     tm.capacitanceScale("14nm", "10nm");
+    EXPECT_NEAR(direct, stepped, 1e-12);
+}
+
+TEST(TechModel, ProjectionAppliesScale)
+{
+    TechModel tm;
+    double measured = 0.5;   // W/GHz per CU on 14nm
+    double projected = tm.projectCuDynW(measured, "14nm", "7nm");
+    EXPECT_NEAR(projected,
+                measured * tm.capacitanceScale("14nm", "7nm"), 1e-12);
+    EXPECT_LT(projected, measured);
+}
+
+TEST(TechModel, CustomRoadmap)
+{
+    TechModel tm({{"a", 1.0, 1.0, 1.0, 1.0}, {"b", 0.5, 0.8, 1.0, 0.5}});
+    EXPECT_DOUBLE_EQ(tm.capacitanceScale("a", "b"), 0.5);
+    EXPECT_DOUBLE_EQ(tm.leakageScale("a", "b"), 0.8);
+}
+
+TEST(TechModelDeathTest, UnknownNodeIsFatal)
+{
+    TechModel tm;
+    EXPECT_EXIT(tm.indexOf("3nm"), testing::ExitedWithCode(1),
+                "unknown technology node");
+}
+
+TEST(TechModelDeathTest, EmptyRoadmapIsFatal)
+{
+    EXPECT_EXIT(TechModel(std::vector<TechGeneration>{}),
+                testing::ExitedWithCode(1), "at least one generation");
+}

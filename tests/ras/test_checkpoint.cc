@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the checkpoint/restart efficiency model.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ras/checkpoint.hh"
+
+using namespace ena;
+
+TEST(Checkpoint, YoungFormula)
+{
+    CheckpointParams p;
+    p.checkpointBytes = 100e9;
+    p.ioBandwidthBps = 10e9;   // delta = 10 s + overhead 5 s = 15 s
+    p.overheadS = 5.0;
+    CheckpointModel model(p);
+    CheckpointPlan plan = model.plan(10.0);   // 36000 s MTTF
+    EXPECT_NEAR(plan.checkpointCostS, 15.0, 1e-9);
+    EXPECT_NEAR(plan.intervalS, std::sqrt(2.0 * 15.0 * 36000.0), 1e-6);
+}
+
+TEST(Checkpoint, OptimalIntervalBeatsNeighbors)
+{
+    CheckpointModel model;
+    double mttf = 8.0;
+    CheckpointPlan plan = model.plan(mttf);
+    double at_opt = model.efficiencyAt(plan.intervalS, mttf);
+    EXPECT_GE(at_opt, model.efficiencyAt(plan.intervalS * 0.5, mttf));
+    EXPECT_GE(at_opt, model.efficiencyAt(plan.intervalS * 2.0, mttf));
+}
+
+TEST(Checkpoint, LongerMttfMeansHigherEfficiency)
+{
+    CheckpointModel model;
+    EXPECT_GT(model.plan(50.0).efficiency, model.plan(2.0).efficiency);
+    EXPECT_GT(model.plan(50.0).intervalS, model.plan(2.0).intervalS);
+}
+
+TEST(Checkpoint, FasterIoMeansHigherEfficiency)
+{
+    CheckpointParams slow;
+    slow.ioBandwidthBps = 1e9;
+    CheckpointParams fast;
+    fast.ioBandwidthBps = 50e9;
+    EXPECT_GT(CheckpointModel(fast).plan(6.0).efficiency,
+              CheckpointModel(slow).plan(6.0).efficiency);
+}
+
+TEST(Checkpoint, EfficiencyInUnitRange)
+{
+    CheckpointModel model;
+    for (double mttf : {0.5, 2.0, 10.0, 100.0}) {
+        CheckpointPlan plan = model.plan(mttf);
+        EXPECT_GE(plan.efficiency, 0.0);
+        EXPECT_LT(plan.efficiency, 1.0);
+        EXPECT_GT(plan.checkpointsPerDay, 0.0);
+    }
+}
+
+TEST(CheckpointDeathTest, BadInputsPanic)
+{
+    CheckpointModel model;
+    EXPECT_DEATH(model.plan(0.0), "positive");
+    EXPECT_DEATH(model.efficiencyAt(0.0, 5.0), "positive");
+}

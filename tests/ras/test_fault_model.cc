@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the RAS fault model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ras/fault_model.hh"
+
+using namespace ena;
+
+TEST(FaultModel, RawFitScalesWithResources)
+{
+    FaultModel fm;
+    NodeConfig small = NodeConfig::bestMean();
+    small.cus = 192;
+    NodeConfig big = NodeConfig::bestMean();
+    big.cus = 384;
+    EXPECT_GT(fm.rawNodeFit(big).gpuLogic,
+              fm.rawNodeFit(small).gpuLogic * 1.9);
+    EXPECT_DOUBLE_EQ(fm.rawNodeFit(big).extDram,
+                     fm.rawNodeFit(small).extDram);
+}
+
+TEST(FaultModel, MemoryDominatesRawFit)
+{
+    // Unprotected DRAM capacity is the dominant fault source —
+    // the reason ECC is non-negotiable.
+    FaultModel fm;
+    FitBreakdown f = fm.rawNodeFit(NodeConfig::bestMean());
+    EXPECT_GT(f.hbm + f.extDram, 0.8 * f.total());
+}
+
+TEST(FaultModel, EccCutsArrayFitBy50x)
+{
+    FaultModel none({false, false, false, 2.0});
+    FaultModel ecc({true, true, false, 2.0});
+    NodeConfig cfg = NodeConfig::bestMean();
+    EXPECT_NEAR(ecc.protectedNodeFit(cfg).hbm /
+                    none.protectedNodeFit(cfg).hbm,
+                0.02, 1e-9);
+    // Logic untouched by ECC.
+    EXPECT_DOUBLE_EQ(ecc.protectedNodeFit(cfg).gpuLogic,
+                     none.protectedNodeFit(cfg).gpuLogic);
+}
+
+TEST(FaultModel, RmtCutsGpuLogicFit)
+{
+    FaultModel ecc({true, true, false, 2.0});
+    FaultModel rmt({true, true, true, 2.0});
+    NodeConfig cfg = NodeConfig::bestMean();
+    EXPECT_LT(rmt.protectedNodeFit(cfg).gpuLogic,
+              ecc.protectedNodeFit(cfg).gpuLogic * 0.1);
+}
+
+TEST(FaultModel, NtcRaisesLogicFit)
+{
+    FaultModel fm;
+    NodeConfig base = NodeConfig::bestMean();
+    NodeConfig ntc = base;
+    ntc.opts.ntc = true;
+    EXPECT_NEAR(fm.rawNodeFit(ntc).gpuLogic /
+                    fm.rawNodeFit(base).gpuLogic,
+                fm.ras().ntcSerMultiplier, 1e-9);
+    // DRAM SER is voltage-domain independent here.
+    EXPECT_DOUBLE_EQ(fm.rawNodeFit(ntc).hbm, fm.rawNodeFit(base).hbm);
+}
+
+TEST(FaultModel, MttfInversesFit)
+{
+    FaultModel fm;
+    NodeConfig cfg = NodeConfig::bestMean();
+    double fit = fm.protectedNodeFit(cfg).total();
+    EXPECT_NEAR(fm.nodeMttfHours(cfg), 1e9 / fit, 1e-6);
+    EXPECT_NEAR(fm.systemMttfHours(cfg, 100000),
+                fm.nodeMttfHours(cfg) / 100000.0, 1e-9);
+}
+
+TEST(FaultModel, ProtectionReducesSilentFraction)
+{
+    NodeConfig cfg = NodeConfig::bestMean();
+    FaultModel none({false, false, false, 2.0});
+    FaultModel full({true, true, true, 2.0});
+    EXPECT_GT(none.silentFraction(cfg), 0.5);
+    EXPECT_LT(full.silentFraction(cfg), 0.5);
+    EXPECT_LE(full.silentFit(cfg), full.protectedNodeFit(cfg).total());
+}
+
+TEST(FaultModel, SystemMttfAtScaleIsHoursNotYears)
+{
+    // The core exascale RAS challenge: a fine per-node MTTF becomes
+    // hours at 100,000 nodes.
+    FaultModel fm({true, true, true, 2.0});
+    NodeConfig cfg = NodeConfig::bestMean();
+    EXPECT_GT(fm.nodeMttfHours(cfg), 8760.0);          // > 1 year/node
+    double sys = fm.systemMttfHours(cfg, 100000);
+    EXPECT_GT(sys, 1.0);
+    EXPECT_LT(sys, 100.0);
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the Config key-value store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/config.hh"
+
+using namespace ena;
+
+TEST(Config, ParseBasicPairs)
+{
+    Config c = Config::fromString("a = 1\nb.x = hello\n");
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.getInt("a"), 1);
+    EXPECT_EQ(c.getString("b.x"), "hello");
+}
+
+TEST(Config, CommentsAndBlankLines)
+{
+    Config c = Config::fromString(
+        "# full-line comment\n"
+        "\n"
+        "key = value # trailing comment\n");
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.getString("key"), "value");
+}
+
+TEST(Config, TypedAccessors)
+{
+    Config c = Config::fromString(
+        "f = 2.5\ni = -3\nb = true\ns = text\n");
+    EXPECT_DOUBLE_EQ(c.getDouble("f"), 2.5);
+    EXPECT_EQ(c.getInt("i"), -3);
+    EXPECT_TRUE(c.getBool("b"));
+    EXPECT_EQ(c.getString("s"), "text");
+}
+
+TEST(Config, DefaultsWhenMissing)
+{
+    Config c;
+    EXPECT_DOUBLE_EQ(c.getDouble("nope", 7.0), 7.0);
+    EXPECT_EQ(c.getInt("nope", 9), 9);
+    EXPECT_TRUE(c.getBool("nope", true));
+    EXPECT_EQ(c.getString("nope", "d"), "d");
+}
+
+TEST(Config, SettersOverwrite)
+{
+    Config c;
+    c.set("k", 1.5);
+    c.set("k", 2.5);
+    EXPECT_DOUBLE_EQ(c.getDouble("k"), 2.5);
+    c.set("flag", true);
+    EXPECT_TRUE(c.getBool("flag"));
+    c.set("n", 42);
+    EXPECT_EQ(c.getInt("n"), 42);
+}
+
+TEST(Config, HasAndPrefixSearch)
+{
+    Config c = Config::fromString(
+        "ehp.cus = 320\nehp.freq = 1.0\nextmem.dram = 768\n");
+    EXPECT_TRUE(c.has("ehp.cus"));
+    EXPECT_FALSE(c.has("ehp.bw"));
+    auto keys = c.keysWithPrefix("ehp.");
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "ehp.cus");
+    EXPECT_EQ(keys[1], "ehp.freq");
+}
+
+TEST(Config, MergeOtherWins)
+{
+    Config a = Config::fromString("x = 1\ny = 2\n");
+    Config b = Config::fromString("y = 3\nz = 4\n");
+    a.merge(b);
+    EXPECT_EQ(a.getInt("x"), 1);
+    EXPECT_EQ(a.getInt("y"), 3);
+    EXPECT_EQ(a.getInt("z"), 4);
+}
+
+TEST(Config, RoundTripThroughToString)
+{
+    Config a = Config::fromString("x = 1\ny = hello world\n");
+    Config b = Config::fromString(a.toString());
+    EXPECT_EQ(b.getInt("x"), 1);
+    EXPECT_EQ(b.getString("y"), "hello world");
+}
+
+using ConfigDeath = Config;
+
+TEST(ConfigDeathTest, MissingKeyIsFatal)
+{
+    Config c;
+    EXPECT_EXIT(c.getDouble("missing"),
+                testing::ExitedWithCode(1), "missing config key");
+}
+
+TEST(ConfigDeathTest, MalformedNumberIsFatal)
+{
+    Config c = Config::fromString("k = abc\n");
+    EXPECT_EXIT(c.getDouble("k"), testing::ExitedWithCode(1),
+                "not a number");
+}
+
+TEST(ConfigDeathTest, MissingEqualsIsFatal)
+{
+    EXPECT_EXIT(Config::fromString("just a line\n"),
+                testing::ExitedWithCode(1), "missing '='");
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Unit tests for logging: level control, fatal/panic behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+using namespace ena;
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(before);
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    setLogLevel(LogLevel::Silent);
+    warn("suppressed warning ", 42);
+    inform("suppressed info");
+    debugLog("suppressed debug");
+    setLogLevel(LogLevel::Warn);
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(ENA_FATAL("bad user input ", 7),
+                testing::ExitedWithCode(1), "bad user input 7");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(ENA_PANIC("internal bug"), "internal bug");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(ENA_ASSERT(1 == 2, "math broke"), "math broke");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    ENA_ASSERT(2 + 2 == 4, "never shown");
+    SUCCEED();
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the Config <-> NodeConfig bindings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/node_config_io.hh"
+
+using namespace ena;
+
+TEST(NodeConfigIo, DefaultsWhenEmpty)
+{
+    NodeConfig n = nodeConfigFromConfig(Config{});
+    EXPECT_EQ(n.cus, 320);
+    EXPECT_DOUBLE_EQ(n.freqGhz, 1.0);
+    EXPECT_DOUBLE_EQ(n.bwTbs, 3.0);
+    EXPECT_DOUBLE_EQ(n.ext.dramGb, 768.0);
+    EXPECT_FALSE(n.opts.any());
+}
+
+TEST(NodeConfigIo, ParsesAllSections)
+{
+    Config cfg = Config::fromString(
+        "ehp.cus = 256\n"
+        "ehp.freq_ghz = 1.2\n"
+        "ehp.bw_tbs = 4\n"
+        "extmem.dram_gb = 384\n"
+        "extmem.nvm_gb = 384\n"
+        "opts.ntc = true\n"
+        "opts.compression = true\n");
+    NodeConfig n = nodeConfigFromConfig(cfg);
+    EXPECT_EQ(n.cus, 256);
+    EXPECT_DOUBLE_EQ(n.freqGhz, 1.2);
+    EXPECT_DOUBLE_EQ(n.bwTbs, 4.0);
+    EXPECT_DOUBLE_EQ(n.ext.nvmGb, 384.0);
+    EXPECT_TRUE(n.opts.ntc);
+    EXPECT_TRUE(n.opts.compression);
+    EXPECT_FALSE(n.opts.asyncCu);
+}
+
+TEST(NodeConfigIo, RoundTrip)
+{
+    NodeConfig n;
+    n.cus = 224;
+    n.freqGhz = 0.925;
+    n.bwTbs = 5.0;
+    n.ext = ExtMemConfig::hybrid();
+    n.opts = PowerOptConfig::all();
+    NodeConfig back = nodeConfigFromConfig(nodeConfigToConfig(n));
+    EXPECT_EQ(back.cus, n.cus);
+    EXPECT_DOUBLE_EQ(back.freqGhz, n.freqGhz);
+    EXPECT_DOUBLE_EQ(back.bwTbs, n.bwTbs);
+    EXPECT_DOUBLE_EQ(back.ext.nvmGb, n.ext.nvmGb);
+    EXPECT_TRUE(back.opts.ntc);
+    EXPECT_TRUE(back.opts.lpLinks);
+}
+
+TEST(NodeConfigIoDeathTest, UnknownKeyIsFatal)
+{
+    Config cfg = Config::fromString("ehp.cuz = 320\n");
+    EXPECT_EXIT(nodeConfigFromConfig(cfg), testing::ExitedWithCode(1),
+                "unknown node-config key");
+}
+
+TEST(NodeConfigIoDeathTest, InvalidValueIsFatal)
+{
+    Config cfg = Config::fromString("ehp.cus = 0\n");
+    EXPECT_EXIT(nodeConfigFromConfig(cfg), testing::ExitedWithCode(1),
+                "bad CU count");
+}

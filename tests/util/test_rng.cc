@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit and statistical-property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+using namespace ena;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(13);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[r.below(8)];
+    for (int c : counts)
+        EXPECT_GT(c, 800);   // each bucket near 1000
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = r.range(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(3);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (r.chance(0.25))
+            ++hits;
+    }
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ChanceDegenerateProbabilities)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, BurstLengthMean)
+{
+    Rng r(21);
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(r.burstLength(4.0));
+    EXPECT_NEAR(total / n, 4.0, 0.25);
+}
+
+TEST(Rng, BurstLengthShortMean)
+{
+    Rng r(22);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.burstLength(1.0), 1u);
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the numeric helpers, including property checks of the
+ * smooth-minimum used by the roofline model.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/stats_math.hh"
+
+using namespace ena;
+
+TEST(StatsMath, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+}
+
+TEST(StatsMath, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({1.0, 100.0}), 10.0);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(StatsMathDeathTest, GeomeanRejectsNonPositive)
+{
+    EXPECT_EXIT(geomean({1.0, 0.0}), testing::ExitedWithCode(1),
+                "positive");
+}
+
+TEST(StatsMath, Stdev)
+{
+    EXPECT_DOUBLE_EQ(stdev({1.0}), 0.0);
+    EXPECT_NEAR(stdev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                2.13809, 1e-4);
+}
+
+TEST(StatsMath, Linspace)
+{
+    auto v = linspace(0.0, 1.0, 5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v.front(), 0.0);
+    EXPECT_DOUBLE_EQ(v[2], 0.5);
+    EXPECT_DOUBLE_EQ(v.back(), 1.0);
+}
+
+TEST(StatsMath, Clamp)
+{
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+// Property: smoothMin is bounded above by hard min and approaches it as
+// the norm grows.
+TEST(StatsMath, SmoothMinBoundedByHardMin)
+{
+    for (double a : {1.0, 3.0, 10.0}) {
+        for (double b : {1.0, 5.0, 100.0}) {
+            double s = smoothMin(a, b);
+            EXPECT_LE(s, std::min(a, b));
+            EXPECT_GT(s, 0.0);
+        }
+    }
+}
+
+TEST(StatsMath, SmoothMinApproachesHardMinWithLargeNorm)
+{
+    double s = smoothMin(3.0, 9.0, 64.0);
+    EXPECT_NEAR(s, 3.0, 0.01);
+}
+
+TEST(StatsMath, SmoothMinSymmetric)
+{
+    EXPECT_DOUBLE_EQ(smoothMin(2.0, 7.0), smoothMin(7.0, 2.0));
+}
+
+TEST(StatsMath, SmoothMinEqualInputs)
+{
+    // p-norm of equal rates: a * 2^(-1/p).
+    double s = smoothMin(4.0, 4.0, 6.0);
+    EXPECT_NEAR(s, 4.0 * std::pow(2.0, -1.0 / 6.0), 1e-12);
+}
+
+TEST(StatsMath, InterpolateWithinAndOutside)
+{
+    std::vector<double> xs = {0.0, 1.0, 2.0};
+    std::vector<double> ys = {0.0, 10.0, 40.0};
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 1.5), 25.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, -1.0), 0.0);   // clamped
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 3.0), 40.0);   // clamped
+}
+
+TEST(StatsMath, SummaryAccumulates)
+{
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.stdev(), 1.29099, 1e-4);
+}
+
+TEST(StatsMath, SummarySingleSample)
+{
+    Summary s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(s.stdev(), 0.0);
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the text-table / CSV emitter.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+using namespace ena;
+
+TEST(TextTable, AlignedOutput)
+{
+    TextTable t({"name", "value"});
+    t.row().add("alpha").add(1);
+    t.row().add("b").add(23.456, "%.1f");
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("23.5"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, NumRows)
+{
+    TextTable t({"a"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.row().add(1);
+    t.row().add(2);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"x", "y"});
+    t.row().add("p").add(2);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\np,2\n");
+}
+
+TEST(TextTable, CsvEscapesSpecials)
+{
+    TextTable t({"x"});
+    t.row().add("a,b");
+    t.row().add("say \"hi\"");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded)
+{
+    TextTable t({"a", "b", "c"});
+    t.row().add(1);   // only one of three cells
+    std::ostringstream os;
+    t.print(os);
+    SUCCEED();
+}
+
+TEST(TextTableDeathTest, TooManyCellsPanics)
+{
+    TextTable t({"only"});
+    t.row().add(1);
+    EXPECT_DEATH(t.add(2), "more cells than headers");
+}
+
+TEST(TextTableDeathTest, AddBeforeRowPanics)
+{
+    TextTable t({"only"});
+    EXPECT_DEATH(t.add(1), "before row");
+}

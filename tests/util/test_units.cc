@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Unit tests for units and tick conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/units.hh"
+
+using namespace ena;
+
+TEST(Units, Prefixes)
+{
+    EXPECT_DOUBLE_EQ(units::giga, 1e9);
+    EXPECT_DOUBLE_EQ(units::pico, 1e-12);
+    EXPECT_EQ(units::gib, 1024ull * 1024 * 1024);
+}
+
+TEST(Units, GhzToHz)
+{
+    EXPECT_DOUBLE_EQ(units::ghzToHz(1.5), 1.5e9);
+}
+
+TEST(Units, PowerFromEventRate)
+{
+    // 1e12 events/s at 1 pJ each = 1 W.
+    EXPECT_DOUBLE_EQ(units::powerFromEventRate(1e12, 1.0), 1.0);
+    // 3 TB/s at 5 pJ/byte = 15 W.
+    EXPECT_NEAR(units::powerFromEventRate(3e12, 5.0), 15.0, 1e-9);
+}
+
+TEST(Units, ClockPeriod)
+{
+    EXPECT_EQ(clockPeriod(1.0), 1000u);   // 1 GHz = 1 ns = 1000 ticks
+    EXPECT_EQ(clockPeriod(2.0), 500u);
+    EXPECT_EQ(clockPeriod(0.5), 2000u);
+}
+
+TEST(Units, TicksToSeconds)
+{
+    EXPECT_DOUBLE_EQ(ticksToSeconds(tickPerSec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(tickPerNs), 1e-9);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(tickPerUs), 1e-6);
+}
