@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_heatmap"
+  "../bench/bench_fig11_heatmap.pdb"
+  "CMakeFiles/bench_fig11_heatmap.dir/bench_fig11_heatmap.cc.o"
+  "CMakeFiles/bench_fig11_heatmap.dir/bench_fig11_heatmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

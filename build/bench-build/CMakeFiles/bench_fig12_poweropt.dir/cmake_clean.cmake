@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_poweropt"
+  "../bench/bench_fig12_poweropt.pdb"
+  "CMakeFiles/bench_fig12_poweropt.dir/bench_fig12_poweropt.cc.o"
+  "CMakeFiles/bench_fig12_poweropt.dir/bench_fig12_poweropt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_poweropt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_perfperwatt"
+  "../bench/bench_fig13_perfperwatt.pdb"
+  "CMakeFiles/bench_fig13_perfperwatt.dir/bench_fig13_perfperwatt.cc.o"
+  "CMakeFiles/bench_fig13_perfperwatt.dir/bench_fig13_perfperwatt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_perfperwatt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

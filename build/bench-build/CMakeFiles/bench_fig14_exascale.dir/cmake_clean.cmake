@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_exascale"
+  "../bench/bench_fig14_exascale.pdb"
+  "CMakeFiles/bench_fig14_exascale.dir/bench_fig14_exascale.cc.o"
+  "CMakeFiles/bench_fig14_exascale.dir/bench_fig14_exascale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_exascale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

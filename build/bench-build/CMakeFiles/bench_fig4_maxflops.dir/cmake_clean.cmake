@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_maxflops"
+  "../bench/bench_fig4_maxflops.pdb"
+  "CMakeFiles/bench_fig4_maxflops.dir/bench_fig4_maxflops.cc.o"
+  "CMakeFiles/bench_fig4_maxflops.dir/bench_fig4_maxflops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_maxflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_comd"
+  "../bench/bench_fig5_comd.pdb"
+  "CMakeFiles/bench_fig5_comd.dir/bench_fig5_comd.cc.o"
+  "CMakeFiles/bench_fig5_comd.dir/bench_fig5_comd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_comd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_lulesh"
+  "../bench/bench_fig6_lulesh.pdb"
+  "CMakeFiles/bench_fig6_lulesh.dir/bench_fig6_lulesh.cc.o"
+  "CMakeFiles/bench_fig6_lulesh.dir/bench_fig6_lulesh.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_chiplet"
+  "../bench/bench_fig7_chiplet.pdb"
+  "CMakeFiles/bench_fig7_chiplet.dir/bench_fig7_chiplet.cc.o"
+  "CMakeFiles/bench_fig7_chiplet.dir/bench_fig7_chiplet.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_chiplet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

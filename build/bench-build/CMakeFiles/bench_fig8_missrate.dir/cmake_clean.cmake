@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_missrate"
+  "../bench/bench_fig8_missrate.pdb"
+  "CMakeFiles/bench_fig8_missrate.dir/bench_fig8_missrate.cc.o"
+  "CMakeFiles/bench_fig8_missrate.dir/bench_fig8_missrate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_extmem"
+  "../bench/bench_fig9_extmem.pdb"
+  "CMakeFiles/bench_fig9_extmem.dir/bench_fig9_extmem.cc.o"
+  "CMakeFiles/bench_fig9_extmem.dir/bench_fig9_extmem.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_extmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

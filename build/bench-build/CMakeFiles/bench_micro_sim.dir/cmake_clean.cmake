@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_sim"
+  "../bench/bench_micro_sim.pdb"
+  "CMakeFiles/bench_micro_sim.dir/bench_micro_sim.cc.o"
+  "CMakeFiles/bench_micro_sim.dir/bench_micro_sim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

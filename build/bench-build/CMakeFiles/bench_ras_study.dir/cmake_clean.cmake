@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ras_study"
+  "../bench/bench_ras_study.pdb"
+  "CMakeFiles/bench_ras_study.dir/bench_ras_study.cc.o"
+  "CMakeFiles/bench_ras_study.dir/bench_ras_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ras_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_dse"
+  "../bench/bench_table2_dse.pdb"
+  "CMakeFiles/bench_table2_dse.dir/bench_table2_dse.cc.o"
+  "CMakeFiles/bench_table2_dse.dir/bench_table2_dse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chiplet_vs_monolithic.dir/chiplet_vs_monolithic.cc.o"
+  "CMakeFiles/chiplet_vs_monolithic.dir/chiplet_vs_monolithic.cc.o.d"
+  "chiplet_vs_monolithic"
+  "chiplet_vs_monolithic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chiplet_vs_monolithic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_node.dir/custom_node.cc.o"
+  "CMakeFiles/custom_node.dir/custom_node.cc.o.d"
+  "custom_node"
+  "custom_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

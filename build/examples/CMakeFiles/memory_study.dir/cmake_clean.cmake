@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_study.dir/memory_study.cc.o"
+  "CMakeFiles/memory_study.dir/memory_study.cc.o.d"
+  "memory_study"
+  "memory_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

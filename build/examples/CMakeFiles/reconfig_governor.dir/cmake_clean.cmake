@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_governor.dir/reconfig_governor.cc.o"
+  "CMakeFiles/reconfig_governor.dir/reconfig_governor.cc.o.d"
+  "reconfig_governor"
+  "reconfig_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_study.dir/resilience_study.cc.o"
+  "CMakeFiles/resilience_study.dir/resilience_study.cc.o.d"
+  "resilience_study"
+  "resilience_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

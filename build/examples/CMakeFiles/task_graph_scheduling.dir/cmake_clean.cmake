@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_graph_scheduling.dir/task_graph_scheduling.cc.o"
+  "CMakeFiles/task_graph_scheduling.dir/task_graph_scheduling.cc.o.d"
+  "task_graph_scheduling"
+  "task_graph_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_graph_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("common")
+subdirs("sim")
+subdirs("workloads")
+subdirs("power")
+subdirs("noc")
+subdirs("mem")
+subdirs("gpu")
+subdirs("cpu")
+subdirs("thermal")
+subdirs("ras")
+subdirs("hsa")
+subdirs("core")

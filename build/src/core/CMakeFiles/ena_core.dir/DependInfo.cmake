@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chiplet_study.cc" "src/core/CMakeFiles/ena_core.dir/chiplet_study.cc.o" "gcc" "src/core/CMakeFiles/ena_core.dir/chiplet_study.cc.o.d"
+  "/root/repo/src/core/dse.cc" "src/core/CMakeFiles/ena_core.dir/dse.cc.o" "gcc" "src/core/CMakeFiles/ena_core.dir/dse.cc.o.d"
+  "/root/repo/src/core/ena.cc" "src/core/CMakeFiles/ena_core.dir/ena.cc.o" "gcc" "src/core/CMakeFiles/ena_core.dir/ena.cc.o.d"
+  "/root/repo/src/core/node_evaluator.cc" "src/core/CMakeFiles/ena_core.dir/node_evaluator.cc.o" "gcc" "src/core/CMakeFiles/ena_core.dir/node_evaluator.cc.o.d"
+  "/root/repo/src/core/perf_model.cc" "src/core/CMakeFiles/ena_core.dir/perf_model.cc.o" "gcc" "src/core/CMakeFiles/ena_core.dir/perf_model.cc.o.d"
+  "/root/repo/src/core/reconfig.cc" "src/core/CMakeFiles/ena_core.dir/reconfig.cc.o" "gcc" "src/core/CMakeFiles/ena_core.dir/reconfig.cc.o.d"
+  "/root/repo/src/core/studies.cc" "src/core/CMakeFiles/ena_core.dir/studies.cc.o" "gcc" "src/core/CMakeFiles/ena_core.dir/studies.cc.o.d"
+  "/root/repo/src/core/thermal_study.cc" "src/core/CMakeFiles/ena_core.dir/thermal_study.cc.o" "gcc" "src/core/CMakeFiles/ena_core.dir/thermal_study.cc.o.d"
+  "/root/repo/src/core/twolevel_study.cc" "src/core/CMakeFiles/ena_core.dir/twolevel_study.cc.o" "gcc" "src/core/CMakeFiles/ena_core.dir/twolevel_study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ena_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ena_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ena_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ena_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ena_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ena_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ena_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ena_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/ena_thermal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

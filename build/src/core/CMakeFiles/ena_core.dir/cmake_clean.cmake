@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_core.dir/chiplet_study.cc.o"
+  "CMakeFiles/ena_core.dir/chiplet_study.cc.o.d"
+  "CMakeFiles/ena_core.dir/dse.cc.o"
+  "CMakeFiles/ena_core.dir/dse.cc.o.d"
+  "CMakeFiles/ena_core.dir/ena.cc.o"
+  "CMakeFiles/ena_core.dir/ena.cc.o.d"
+  "CMakeFiles/ena_core.dir/node_evaluator.cc.o"
+  "CMakeFiles/ena_core.dir/node_evaluator.cc.o.d"
+  "CMakeFiles/ena_core.dir/perf_model.cc.o"
+  "CMakeFiles/ena_core.dir/perf_model.cc.o.d"
+  "CMakeFiles/ena_core.dir/reconfig.cc.o"
+  "CMakeFiles/ena_core.dir/reconfig.cc.o.d"
+  "CMakeFiles/ena_core.dir/studies.cc.o"
+  "CMakeFiles/ena_core.dir/studies.cc.o.d"
+  "CMakeFiles/ena_core.dir/thermal_study.cc.o"
+  "CMakeFiles/ena_core.dir/thermal_study.cc.o.d"
+  "CMakeFiles/ena_core.dir/twolevel_study.cc.o"
+  "CMakeFiles/ena_core.dir/twolevel_study.cc.o.d"
+  "libena_core.a"
+  "libena_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_cpu.dir/amdahl.cc.o"
+  "CMakeFiles/ena_cpu.dir/amdahl.cc.o.d"
+  "CMakeFiles/ena_cpu.dir/cpu_cluster.cc.o"
+  "CMakeFiles/ena_cpu.dir/cpu_cluster.cc.o.d"
+  "CMakeFiles/ena_cpu.dir/cpu_core.cc.o"
+  "CMakeFiles/ena_cpu.dir/cpu_core.cc.o.d"
+  "libena_cpu.a"
+  "libena_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/compute_unit.cc" "src/gpu/CMakeFiles/ena_gpu.dir/compute_unit.cc.o" "gcc" "src/gpu/CMakeFiles/ena_gpu.dir/compute_unit.cc.o.d"
+  "/root/repo/src/gpu/dispatcher.cc" "src/gpu/CMakeFiles/ena_gpu.dir/dispatcher.cc.o" "gcc" "src/gpu/CMakeFiles/ena_gpu.dir/dispatcher.cc.o.d"
+  "/root/repo/src/gpu/gpu_chiplet.cc" "src/gpu/CMakeFiles/ena_gpu.dir/gpu_chiplet.cc.o" "gcc" "src/gpu/CMakeFiles/ena_gpu.dir/gpu_chiplet.cc.o.d"
+  "/root/repo/src/gpu/mem_stack_endpoint.cc" "src/gpu/CMakeFiles/ena_gpu.dir/mem_stack_endpoint.cc.o" "gcc" "src/gpu/CMakeFiles/ena_gpu.dir/mem_stack_endpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ena_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ena_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ena_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ena_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ena_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

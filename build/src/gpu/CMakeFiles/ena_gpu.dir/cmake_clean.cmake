@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_gpu.dir/compute_unit.cc.o"
+  "CMakeFiles/ena_gpu.dir/compute_unit.cc.o.d"
+  "CMakeFiles/ena_gpu.dir/dispatcher.cc.o"
+  "CMakeFiles/ena_gpu.dir/dispatcher.cc.o.d"
+  "CMakeFiles/ena_gpu.dir/gpu_chiplet.cc.o"
+  "CMakeFiles/ena_gpu.dir/gpu_chiplet.cc.o.d"
+  "CMakeFiles/ena_gpu.dir/mem_stack_endpoint.cc.o"
+  "CMakeFiles/ena_gpu.dir/mem_stack_endpoint.cc.o.d"
+  "libena_gpu.a"
+  "libena_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsa/aql_queue.cc" "src/hsa/CMakeFiles/ena_hsa.dir/aql_queue.cc.o" "gcc" "src/hsa/CMakeFiles/ena_hsa.dir/aql_queue.cc.o.d"
+  "/root/repo/src/hsa/signal.cc" "src/hsa/CMakeFiles/ena_hsa.dir/signal.cc.o" "gcc" "src/hsa/CMakeFiles/ena_hsa.dir/signal.cc.o.d"
+  "/root/repo/src/hsa/task_graph.cc" "src/hsa/CMakeFiles/ena_hsa.dir/task_graph.cc.o" "gcc" "src/hsa/CMakeFiles/ena_hsa.dir/task_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ena_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ena_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_hsa.dir/aql_queue.cc.o"
+  "CMakeFiles/ena_hsa.dir/aql_queue.cc.o.d"
+  "CMakeFiles/ena_hsa.dir/signal.cc.o"
+  "CMakeFiles/ena_hsa.dir/signal.cc.o.d"
+  "CMakeFiles/ena_hsa.dir/task_graph.cc.o"
+  "CMakeFiles/ena_hsa.dir/task_graph.cc.o.d"
+  "libena_hsa.a"
+  "libena_hsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_hsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

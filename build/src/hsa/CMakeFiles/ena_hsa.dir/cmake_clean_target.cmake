@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libena_hsa.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_map.cc" "src/mem/CMakeFiles/ena_mem.dir/address_map.cc.o" "gcc" "src/mem/CMakeFiles/ena_mem.dir/address_map.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/ena_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/ena_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/compression.cc" "src/mem/CMakeFiles/ena_mem.dir/compression.cc.o" "gcc" "src/mem/CMakeFiles/ena_mem.dir/compression.cc.o.d"
+  "/root/repo/src/mem/ext_memory.cc" "src/mem/CMakeFiles/ena_mem.dir/ext_memory.cc.o" "gcc" "src/mem/CMakeFiles/ena_mem.dir/ext_memory.cc.o.d"
+  "/root/repo/src/mem/hbm_stack.cc" "src/mem/CMakeFiles/ena_mem.dir/hbm_stack.cc.o" "gcc" "src/mem/CMakeFiles/ena_mem.dir/hbm_stack.cc.o.d"
+  "/root/repo/src/mem/memory_manager.cc" "src/mem/CMakeFiles/ena_mem.dir/memory_manager.cc.o" "gcc" "src/mem/CMakeFiles/ena_mem.dir/memory_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ena_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ena_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ena_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

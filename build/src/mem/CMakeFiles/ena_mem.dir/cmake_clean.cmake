@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_mem.dir/address_map.cc.o"
+  "CMakeFiles/ena_mem.dir/address_map.cc.o.d"
+  "CMakeFiles/ena_mem.dir/cache.cc.o"
+  "CMakeFiles/ena_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ena_mem.dir/compression.cc.o"
+  "CMakeFiles/ena_mem.dir/compression.cc.o.d"
+  "CMakeFiles/ena_mem.dir/ext_memory.cc.o"
+  "CMakeFiles/ena_mem.dir/ext_memory.cc.o.d"
+  "CMakeFiles/ena_mem.dir/hbm_stack.cc.o"
+  "CMakeFiles/ena_mem.dir/hbm_stack.cc.o.d"
+  "CMakeFiles/ena_mem.dir/memory_manager.cc.o"
+  "CMakeFiles/ena_mem.dir/memory_manager.cc.o.d"
+  "libena_mem.a"
+  "libena_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_noc.dir/crossbar_network.cc.o"
+  "CMakeFiles/ena_noc.dir/crossbar_network.cc.o.d"
+  "CMakeFiles/ena_noc.dir/detailed_network.cc.o"
+  "CMakeFiles/ena_noc.dir/detailed_network.cc.o.d"
+  "CMakeFiles/ena_noc.dir/interposer_network.cc.o"
+  "CMakeFiles/ena_noc.dir/interposer_network.cc.o.d"
+  "CMakeFiles/ena_noc.dir/network.cc.o"
+  "CMakeFiles/ena_noc.dir/network.cc.o.d"
+  "CMakeFiles/ena_noc.dir/topology.cc.o"
+  "CMakeFiles/ena_noc.dir/topology.cc.o.d"
+  "libena_noc.a"
+  "libena_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/node_power.cc" "src/power/CMakeFiles/ena_power.dir/node_power.cc.o" "gcc" "src/power/CMakeFiles/ena_power.dir/node_power.cc.o.d"
+  "/root/repo/src/power/optimizations.cc" "src/power/CMakeFiles/ena_power.dir/optimizations.cc.o" "gcc" "src/power/CMakeFiles/ena_power.dir/optimizations.cc.o.d"
+  "/root/repo/src/power/tech_model.cc" "src/power/CMakeFiles/ena_power.dir/tech_model.cc.o" "gcc" "src/power/CMakeFiles/ena_power.dir/tech_model.cc.o.d"
+  "/root/repo/src/power/vf_curve.cc" "src/power/CMakeFiles/ena_power.dir/vf_curve.cc.o" "gcc" "src/power/CMakeFiles/ena_power.dir/vf_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ena_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

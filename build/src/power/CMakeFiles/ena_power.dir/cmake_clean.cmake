@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_power.dir/node_power.cc.o"
+  "CMakeFiles/ena_power.dir/node_power.cc.o.d"
+  "CMakeFiles/ena_power.dir/optimizations.cc.o"
+  "CMakeFiles/ena_power.dir/optimizations.cc.o.d"
+  "CMakeFiles/ena_power.dir/tech_model.cc.o"
+  "CMakeFiles/ena_power.dir/tech_model.cc.o.d"
+  "CMakeFiles/ena_power.dir/vf_curve.cc.o"
+  "CMakeFiles/ena_power.dir/vf_curve.cc.o.d"
+  "libena_power.a"
+  "libena_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ras/checkpoint.cc" "src/ras/CMakeFiles/ena_ras.dir/checkpoint.cc.o" "gcc" "src/ras/CMakeFiles/ena_ras.dir/checkpoint.cc.o.d"
+  "/root/repo/src/ras/fault_model.cc" "src/ras/CMakeFiles/ena_ras.dir/fault_model.cc.o" "gcc" "src/ras/CMakeFiles/ena_ras.dir/fault_model.cc.o.d"
+  "/root/repo/src/ras/rmt.cc" "src/ras/CMakeFiles/ena_ras.dir/rmt.cc.o" "gcc" "src/ras/CMakeFiles/ena_ras.dir/rmt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ena_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

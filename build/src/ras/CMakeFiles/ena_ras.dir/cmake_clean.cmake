@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_ras.dir/checkpoint.cc.o"
+  "CMakeFiles/ena_ras.dir/checkpoint.cc.o.d"
+  "CMakeFiles/ena_ras.dir/fault_model.cc.o"
+  "CMakeFiles/ena_ras.dir/fault_model.cc.o.d"
+  "CMakeFiles/ena_ras.dir/rmt.cc.o"
+  "CMakeFiles/ena_ras.dir/rmt.cc.o.d"
+  "libena_ras.a"
+  "libena_ras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

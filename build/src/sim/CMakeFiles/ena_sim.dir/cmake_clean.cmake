@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_sim.dir/event.cc.o"
+  "CMakeFiles/ena_sim.dir/event.cc.o.d"
+  "CMakeFiles/ena_sim.dir/sim_object.cc.o"
+  "CMakeFiles/ena_sim.dir/sim_object.cc.o.d"
+  "CMakeFiles/ena_sim.dir/simulation.cc.o"
+  "CMakeFiles/ena_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/ena_sim.dir/stats.cc.o"
+  "CMakeFiles/ena_sim.dir/stats.cc.o.d"
+  "libena_sim.a"
+  "libena_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

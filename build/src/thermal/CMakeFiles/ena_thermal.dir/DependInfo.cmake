@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/grid.cc" "src/thermal/CMakeFiles/ena_thermal.dir/grid.cc.o" "gcc" "src/thermal/CMakeFiles/ena_thermal.dir/grid.cc.o.d"
+  "/root/repo/src/thermal/package_model.cc" "src/thermal/CMakeFiles/ena_thermal.dir/package_model.cc.o" "gcc" "src/thermal/CMakeFiles/ena_thermal.dir/package_model.cc.o.d"
+  "/root/repo/src/thermal/power_map.cc" "src/thermal/CMakeFiles/ena_thermal.dir/power_map.cc.o" "gcc" "src/thermal/CMakeFiles/ena_thermal.dir/power_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ena_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ena_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

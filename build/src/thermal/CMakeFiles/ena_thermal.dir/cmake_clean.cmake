@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_thermal.dir/grid.cc.o"
+  "CMakeFiles/ena_thermal.dir/grid.cc.o.d"
+  "CMakeFiles/ena_thermal.dir/package_model.cc.o"
+  "CMakeFiles/ena_thermal.dir/package_model.cc.o.d"
+  "CMakeFiles/ena_thermal.dir/power_map.cc.o"
+  "CMakeFiles/ena_thermal.dir/power_map.cc.o.d"
+  "libena_thermal.a"
+  "libena_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_util.dir/config.cc.o"
+  "CMakeFiles/ena_util.dir/config.cc.o.d"
+  "CMakeFiles/ena_util.dir/logging.cc.o"
+  "CMakeFiles/ena_util.dir/logging.cc.o.d"
+  "CMakeFiles/ena_util.dir/stats_math.cc.o"
+  "CMakeFiles/ena_util.dir/stats_math.cc.o.d"
+  "CMakeFiles/ena_util.dir/string_utils.cc.o"
+  "CMakeFiles/ena_util.dir/string_utils.cc.o.d"
+  "CMakeFiles/ena_util.dir/table.cc.o"
+  "CMakeFiles/ena_util.dir/table.cc.o.d"
+  "libena_util.a"
+  "libena_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

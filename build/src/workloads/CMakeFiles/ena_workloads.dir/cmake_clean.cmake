@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ena_workloads.dir/kernel_profile.cc.o"
+  "CMakeFiles/ena_workloads.dir/kernel_profile.cc.o.d"
+  "CMakeFiles/ena_workloads.dir/trace_gen.cc.o"
+  "CMakeFiles/ena_workloads.dir/trace_gen.cc.o.d"
+  "libena_workloads.a"
+  "libena_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ena_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

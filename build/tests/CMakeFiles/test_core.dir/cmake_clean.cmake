@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_calibration.cc.o"
+  "CMakeFiles/test_core.dir/core/test_calibration.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_dse.cc.o"
+  "CMakeFiles/test_core.dir/core/test_dse.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_node_evaluator.cc.o"
+  "CMakeFiles/test_core.dir/core/test_node_evaluator.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_perf_model.cc.o"
+  "CMakeFiles/test_core.dir/core/test_perf_model.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_properties.cc.o"
+  "CMakeFiles/test_core.dir/core/test_properties.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_reconfig.cc.o"
+  "CMakeFiles/test_core.dir/core/test_reconfig.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_studies.cc.o"
+  "CMakeFiles/test_core.dir/core/test_studies.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

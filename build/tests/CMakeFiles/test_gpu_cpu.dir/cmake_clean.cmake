@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_cpu.dir/cpu/test_cpu.cc.o"
+  "CMakeFiles/test_gpu_cpu.dir/cpu/test_cpu.cc.o.d"
+  "CMakeFiles/test_gpu_cpu.dir/cpu/test_cpu_core.cc.o"
+  "CMakeFiles/test_gpu_cpu.dir/cpu/test_cpu_core.cc.o.d"
+  "CMakeFiles/test_gpu_cpu.dir/gpu/test_gpu.cc.o"
+  "CMakeFiles/test_gpu_cpu.dir/gpu/test_gpu.cc.o.d"
+  "test_gpu_cpu"
+  "test_gpu_cpu.pdb"
+  "test_gpu_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hsa.dir/hsa/test_hsa.cc.o"
+  "CMakeFiles/test_hsa.dir/hsa/test_hsa.cc.o.d"
+  "test_hsa"
+  "test_hsa.pdb"
+  "test_hsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ras.dir/ras/test_checkpoint.cc.o"
+  "CMakeFiles/test_ras.dir/ras/test_checkpoint.cc.o.d"
+  "CMakeFiles/test_ras.dir/ras/test_fault_model.cc.o"
+  "CMakeFiles/test_ras.dir/ras/test_fault_model.cc.o.d"
+  "CMakeFiles/test_ras.dir/ras/test_rmt.cc.o"
+  "CMakeFiles/test_ras.dir/ras/test_rmt.cc.o.d"
+  "test_ras"
+  "test_ras.pdb"
+  "test_ras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

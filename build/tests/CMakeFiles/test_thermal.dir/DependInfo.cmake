@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/thermal/test_grid.cc" "tests/CMakeFiles/test_thermal.dir/thermal/test_grid.cc.o" "gcc" "tests/CMakeFiles/test_thermal.dir/thermal/test_grid.cc.o.d"
+  "/root/repo/tests/thermal/test_package_model.cc" "tests/CMakeFiles/test_thermal.dir/thermal/test_package_model.cc.o" "gcc" "tests/CMakeFiles/test_thermal.dir/thermal/test_package_model.cc.o.d"
+  "/root/repo/tests/thermal/test_power_map.cc" "tests/CMakeFiles/test_thermal.dir/thermal/test_power_map.cc.o" "gcc" "tests/CMakeFiles/test_thermal.dir/thermal/test_power_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ras/CMakeFiles/ena_ras.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/ena_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ena_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ena_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ena_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ena_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ena_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ena_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ena_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/ena_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ena_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ena_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal.dir/thermal/test_grid.cc.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_grid.cc.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/test_package_model.cc.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_package_model.cc.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/test_power_map.cc.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_power_map.cc.o.d"
+  "test_thermal"
+  "test_thermal.pdb"
+  "test_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_config.cc" "tests/CMakeFiles/test_util.dir/util/test_config.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_config.cc.o.d"
+  "/root/repo/tests/util/test_logging.cc" "tests/CMakeFiles/test_util.dir/util/test_logging.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_logging.cc.o.d"
+  "/root/repo/tests/util/test_node_config_io.cc" "tests/CMakeFiles/test_util.dir/util/test_node_config_io.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_node_config_io.cc.o.d"
+  "/root/repo/tests/util/test_rng.cc" "tests/CMakeFiles/test_util.dir/util/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cc.o.d"
+  "/root/repo/tests/util/test_stats_math.cc" "tests/CMakeFiles/test_util.dir/util/test_stats_math.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats_math.cc.o.d"
+  "/root/repo/tests/util/test_string_utils.cc" "tests/CMakeFiles/test_util.dir/util/test_string_utils.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_string_utils.cc.o.d"
+  "/root/repo/tests/util/test_table.cc" "tests/CMakeFiles/test_util.dir/util/test_table.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cc.o.d"
+  "/root/repo/tests/util/test_units.cc" "tests/CMakeFiles/test_util.dir/util/test_units.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ras/CMakeFiles/ena_ras.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/ena_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ena_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ena_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ena_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ena_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ena_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ena_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ena_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/ena_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ena_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ena_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_config.cc.o"
+  "CMakeFiles/test_util.dir/util/test_config.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_logging.cc.o"
+  "CMakeFiles/test_util.dir/util/test_logging.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_node_config_io.cc.o"
+  "CMakeFiles/test_util.dir/util/test_node_config_io.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cc.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats_math.cc.o"
+  "CMakeFiles/test_util.dir/util/test_stats_math.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_string_utils.cc.o"
+  "CMakeFiles/test_util.dir/util/test_string_utils.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cc.o"
+  "CMakeFiles/test_util.dir/util/test_table.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_units.cc.o"
+  "CMakeFiles/test_util.dir/util/test_units.cc.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
