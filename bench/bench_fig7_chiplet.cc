@@ -36,10 +36,9 @@ main(int argc, char **argv)
     TextTable t({"Application", "Out-of-chiplet traffic (%)",
                  "EHP perf vs monolithic (%)", "chiplet us",
                  "monolithic us", "L2 hit", "mean hops"});
-    for (App app : apps) {
-        Fig7Row row = study.compare(app);
+    for (const Fig7Row &row : study.compareAll(apps)) {
         t.row()
-            .add(appName(app))
+            .add(appName(row.app))
             .add(row.remoteTrafficPct, "%.1f")
             .add(row.perfVsMonolithicPct, "%.1f")
             .add(row.chiplet.runtimeUs, "%.1f")

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Serial-vs-parallel wall time of the paper's hottest loops: the full
+ * DSE grid sweep and the Table II per-application search, on the
+ * ThreadPool substrate every study now uses.
+ *
+ * Also cross-checks that the parallel results are element-for-element
+ * identical to the single-threaded run (exit code 1 on mismatch), so
+ * the CI smoke job exercises the determinism guarantee end-to-end.
+ *
+ * Usage: bench_parallel_sweep [THREADS]   (default: ENA_THREADS / all)
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/dse.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+using namespace ena;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct DseOutputs
+{
+    std::vector<DsePoint> points;
+    std::vector<TableIIRow> rows;
+    double sweepSec = 0.0;
+    double tableSec = 0.0;
+};
+
+DseOutputs
+runAll(const DesignSpaceExplorer &dse, const NodeConfig &best_mean,
+       int repeats)
+{
+    DseOutputs out;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r)
+        out.points = dse.sweep(PowerOptConfig::none());
+    out.sweepSec = secondsSince(t0) / repeats;
+
+    t0 = std::chrono::steady_clock::now();
+    out.rows = dse.tableII(best_mean);
+    out.tableSec = secondsSince(t0);
+    return out;
+}
+
+bool
+identical(const DseOutputs &a, const DseOutputs &b)
+{
+    if (a.points.size() != b.points.size() ||
+        a.rows.size() != b.rows.size())
+        return false;
+    for (size_t i = 0; i < a.points.size(); ++i) {
+        const DsePoint &p = a.points[i];
+        const DsePoint &q = b.points[i];
+        if (p.geomeanFlops != q.geomeanFlops ||
+            p.meanBudgetPowerW != q.meanBudgetPowerW ||
+            p.maxBudgetPowerW != q.maxBudgetPowerW ||
+            p.feasible != q.feasible || p.cfg.cus != q.cfg.cus ||
+            p.cfg.freqGhz != q.cfg.freqGhz ||
+            p.cfg.bwTbs != q.cfg.bwTbs)
+            return false;
+    }
+    for (size_t i = 0; i < a.rows.size(); ++i) {
+        const TableIIRow &p = a.rows[i];
+        const TableIIRow &q = b.rows[i];
+        if (p.app != q.app ||
+            p.benefitNoOptPct != q.benefitNoOptPct ||
+            p.benefitWithOptPct != q.benefitWithOptPct ||
+            p.bestConfig.cus != q.bestConfig.cus ||
+            p.bestConfigOpt.cus != q.bestConfigOpt.cus)
+            return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    int threads = argc > 1 ? std::atoi(argv[1])
+                           : ThreadPool::defaultThreads();
+    if (threads < 1)
+        threads = 1;
+    const int repeats = 5;
+
+    bench::banner("Parallel sweep engine",
+                  "Wall time of the paper DSE grid (sweep + Table II "
+                  "search) serial vs parallel,\nand a bitwise "
+                  "serial/parallel equivalence check.");
+
+    const NodeEvaluator &eval = bench::evaluator();
+    DseGrid grid = DseGrid::paperGrid();
+    DesignSpaceExplorer dse(eval, grid, cal::nodePowerBudgetW);
+    const NodeConfig best_mean = bench::bestMean();
+
+    std::cout << "grid: " << grid.size() << " configurations x "
+              << allApps().size() << " applications; hardware threads: "
+              << std::thread::hardware_concurrency()
+              << "; parallel run uses " << threads << " thread(s)\n\n";
+
+    ThreadPool::setGlobalThreads(1);
+    DseOutputs serial = runAll(dse, best_mean, repeats);
+
+    ThreadPool::setGlobalThreads(threads);
+    DseOutputs parallel = runAll(dse, best_mean, repeats);
+
+    double sweep_speedup = serial.sweepSec / parallel.sweepSec;
+    double table_speedup = serial.tableSec / parallel.tableSec;
+
+    TextTable t({"phase", "serial ms", "parallel ms", "speedup"});
+    t.row()
+        .add("full-grid sweep")
+        .add(serial.sweepSec * 1e3, "%.2f")
+        .add(parallel.sweepSec * 1e3, "%.2f")
+        .add(sweep_speedup, "%.2fx");
+    t.row()
+        .add("Table II search")
+        .add(serial.tableSec * 1e3, "%.2f")
+        .add(parallel.tableSec * 1e3, "%.2f")
+        .add(table_speedup, "%.2fx");
+    bench::show(t, "parallel_sweep");
+
+    if (!identical(serial, parallel)) {
+        std::cerr << "\nFAIL: parallel results differ from serial "
+                     "results\n";
+        return 1;
+    }
+    std::cout << "\ndeterminism: parallel output is element-for-element "
+                 "identical to serial output\n";
+
+    // The speedup gate only applies where parallelism is physically
+    // available (acceptance: >= 2x with 4+ hardware threads).
+    if (std::thread::hardware_concurrency() >= 4 && threads >= 4) {
+        if (sweep_speedup < 2.0) {
+            std::cerr << "FAIL: sweep speedup " << sweep_speedup
+                      << "x < 2x with " << threads << " threads\n";
+            return 1;
+        }
+        std::cout << "speedup gate: " << sweep_speedup
+                  << "x >= 2x with " << threads << " threads — ok\n";
+    } else {
+        std::cout << "speedup gate skipped (need 4+ hardware threads; "
+                     "this host has "
+                  << std::thread::hardware_concurrency() << ")\n";
+    }
+    return 0;
+}

@@ -16,6 +16,7 @@
 
 #include "core/ena.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 using namespace ena;
 
@@ -75,7 +76,8 @@ main(int argc, char **argv)
 
     std::cout << "Sweeping " << grid.size() << " configurations x "
               << allApps().size() << " applications under a " << budget
-              << " W budget...\n\n";
+              << " W budget on " << ThreadPool::global().threads()
+              << " thread(s) (set ENA_THREADS to override)...\n\n";
 
     NodeConfig best = dse.findBestMean(PowerOptConfig::none());
     std::cout << "Best-mean configuration: " << best.label()

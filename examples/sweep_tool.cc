@@ -17,9 +17,12 @@
  */
 
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/ena.hh"
+#include "util/thread_pool.hh"
 
 using namespace ena;
 
@@ -58,28 +61,41 @@ main(int argc, char **argv)
         base.bwTbs = std::stod(argv[8]);
     }
 
+    std::vector<double> values;
+    for (double v = from; v <= to + 1e-9; v += step)
+        values.push_back(v);
+
+    // Evaluate every point on the process-wide pool (ENA_THREADS) and
+    // emit the CSV rows in sweep order afterwards.
     NodeEvaluator eval;
+    std::vector<std::string> rows = parallel_map(
+        values.size(), [&](std::size_t i) {
+            double v = values[i];
+            NodeConfig cfg = base;
+            if (axis == "cus")
+                cfg.cus = static_cast<int>(v);
+            else if (axis == "freq")
+                cfg.freqGhz = v;
+            else
+                cfg.bwTbs = v;
+            cfg.validate();
+            EvalResult r = eval.evaluate(cfg, app);
+            std::ostringstream os;
+            os << appName(app) << "," << axis << "," << v << ","
+               << cfg.cus << "," << cfg.freqGhz << "," << cfg.bwTbs
+               << "," << r.perf.opsPerByte << "," << r.teraflops()
+               << "," << r.perf.activity.cuUtilization << ","
+               << r.perf.trafficGbs << ","
+               << r.power.budgetPower() << "," << r.power.total()
+               << "," << r.perf.flops / 1e9 / r.power.total() << ","
+               << (r.perf.memoryBound ? 1 : 0) << "\n";
+            return os.str();
+        });
+
     std::cout << "app,axis,value,cus,freq_ghz,bw_tbs,ops_per_byte,"
                  "teraflops,cu_utilization,traffic_gbs,budget_w,"
                  "total_w,gflops_per_w,memory_bound\n";
-    for (double v = from; v <= to + 1e-9; v += step) {
-        NodeConfig cfg = base;
-        if (axis == "cus")
-            cfg.cus = static_cast<int>(v);
-        else if (axis == "freq")
-            cfg.freqGhz = v;
-        else
-            cfg.bwTbs = v;
-        cfg.validate();
-        EvalResult r = eval.evaluate(cfg, app);
-        std::cout << appName(app) << "," << axis << "," << v << ","
-                  << cfg.cus << "," << cfg.freqGhz << "," << cfg.bwTbs
-                  << "," << r.perf.opsPerByte << "," << r.teraflops()
-                  << "," << r.perf.activity.cuUtilization << ","
-                  << r.perf.trafficGbs << ","
-                  << r.power.budgetPower() << "," << r.power.total()
-                  << "," << r.perf.flops / 1e9 / r.power.total() << ","
-                  << (r.perf.memoryBound ? 1 : 0) << "\n";
-    }
+    for (const std::string &row : rows)
+        std::cout << row;
     return 0;
 }

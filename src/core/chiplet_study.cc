@@ -18,6 +18,7 @@
 #include "sim/simulation.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
+#include "util/thread_pool.hh"
 
 #include <iostream>
 
@@ -243,10 +244,21 @@ ChipletStudy::run(App app, const ChipletStudyParams &params,
 Fig7Row
 ChipletStudy::compare(App app, const ChipletStudyParams &params) const
 {
+    // The chiplet and monolithic runs are independent simulations
+    // (each builds its own Simulation and RNG state), so run them
+    // concurrently; stat dumps stay serial to keep output readable.
+    std::vector<ChipletRunResult> results;
+    if (params.dumpStats) {
+        results.push_back(run(app, params, false));
+        results.push_back(run(app, params, true));
+    } else {
+        results = ThreadPool::global().parallelMap(
+            2, [&](std::size_t i) { return run(app, params, i == 1); });
+    }
     Fig7Row row;
     row.app = app;
-    row.chiplet = run(app, params, false);
-    row.monolithic = run(app, params, true);
+    row.chiplet = results[0];
+    row.monolithic = results[1];
     row.remoteTrafficPct = row.chiplet.remoteTrafficFrac * 100.0;
     row.perfVsMonolithicPct =
         row.monolithic.runtimeUs / row.chiplet.runtimeUs * 100.0;
@@ -257,6 +269,29 @@ Fig7Row
 ChipletStudy::compare(App app) const
 {
     return compare(app, ChipletStudyParams::forApp(app));
+}
+
+std::vector<Fig7Row>
+ChipletStudy::compareAll(const std::vector<App> &apps) const
+{
+    // One task per (app, mode) pair: all simulations are independent,
+    // and per-app results assemble in index order afterwards.
+    std::vector<ChipletRunResult> runs = ThreadPool::global().parallelMap(
+        2 * apps.size(), [&](std::size_t i) {
+            App app = apps[i / 2];
+            return run(app, ChipletStudyParams::forApp(app), i % 2 == 1);
+        });
+    std::vector<Fig7Row> rows(apps.size());
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        Fig7Row &row = rows[a];
+        row.app = apps[a];
+        row.chiplet = runs[2 * a];
+        row.monolithic = runs[2 * a + 1];
+        row.remoteTrafficPct = row.chiplet.remoteTrafficFrac * 100.0;
+        row.perfVsMonolithicPct =
+            row.monolithic.runtimeUs / row.chiplet.runtimeUs * 100.0;
+    }
+    return rows;
 }
 
 } // namespace ena

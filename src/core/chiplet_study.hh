@@ -91,6 +91,13 @@ class ChipletStudy
 
     /** compare() with the per-app default parameters. */
     Fig7Row compare(App app) const;
+
+    /**
+     * compare() for a whole app list with default parameters, running
+     * every (app, mode) simulation on the process-wide ThreadPool.
+     * Results are identical to calling compare(app) in a loop.
+     */
+    std::vector<Fig7Row> compareAll(const std::vector<App> &apps) const;
 };
 
 } // namespace ena

@@ -4,6 +4,7 @@
 
 #include "common/calibration.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace ena {
 
@@ -27,56 +28,54 @@ DesignSpaceExplorer::DesignSpaceExplorer(const NodeEvaluator &eval,
         ENA_FATAL("empty DSE grid");
 }
 
-template <typename Fn>
-void
-DesignSpaceExplorer::forEachConfig(const PowerOptConfig &opts,
-                                   Fn &&fn) const
+NodeConfig
+DesignSpaceExplorer::configAt(std::size_t index,
+                              const PowerOptConfig &opts) const
 {
-    for (int c : grid_.cus) {
-        for (double f : grid_.freqsGhz) {
-            for (double bw : grid_.bwsTbs) {
-                NodeConfig cfg;
-                cfg.cus = c;
-                cfg.freqGhz = f;
-                cfg.bwTbs = bw;
-                cfg.opts = opts;
-                fn(cfg);
-            }
-        }
-    }
+    // Row-major over (cus, freq, bw): the same enumeration order the
+    // original serial triple loop used, so index-order reductions
+    // reproduce its results exactly.
+    const std::size_t nf = grid_.freqsGhz.size();
+    const std::size_t nb = grid_.bwsTbs.size();
+    NodeConfig cfg;
+    cfg.cus = grid_.cus[index / (nf * nb)];
+    cfg.freqGhz = grid_.freqsGhz[(index / nb) % nf];
+    cfg.bwTbs = grid_.bwsTbs[index % nb];
+    cfg.opts = opts;
+    return cfg;
 }
 
 std::vector<DsePoint>
 DesignSpaceExplorer::sweep(const PowerOptConfig &opts) const
 {
-    std::vector<DsePoint> out;
-    out.reserve(grid_.size());
-    forEachConfig(opts, [&](const NodeConfig &cfg) {
-        DsePoint p;
-        p.cfg = cfg;
-        p.geomeanFlops = eval_.geomeanFlops(cfg);
-        p.meanBudgetPowerW = eval_.meanBudgetPower(cfg);
-        p.maxBudgetPowerW = eval_.maxBudgetPower(cfg);
-        p.feasible = p.maxBudgetPowerW <= budgetW_;
-        out.push_back(p);
-    });
-    return out;
+    // Each grid point is independent; workers fill their own slots and
+    // no reduction happens here, so the output is identical to the
+    // serial enumeration for any thread count.
+    return ThreadPool::global().parallelMap(
+        grid_.size(), [&](std::size_t i) {
+            DsePoint p;
+            p.cfg = configAt(i, opts);
+            p.geomeanFlops = eval_.geomeanFlops(p.cfg);
+            p.meanBudgetPowerW = eval_.meanBudgetPower(p.cfg);
+            p.maxBudgetPowerW = eval_.maxBudgetPower(p.cfg);
+            p.feasible = p.maxBudgetPowerW <= budgetW_;
+            return p;
+        });
 }
 
 NodeConfig
 DesignSpaceExplorer::findBestMean(const PowerOptConfig &opts) const
 {
-    std::optional<DsePoint> best;
-    forEachConfig(opts, [&](const NodeConfig &cfg) {
-        double power = eval_.maxBudgetPower(cfg);
-        if (power > budgetW_)
-            return;
-        double perf = eval_.geomeanFlops(cfg);
-        if (!best || perf > best->geomeanFlops) {
-            best = DsePoint{cfg, perf, eval_.meanBudgetPower(cfg),
-                            power, true};
-        }
-    });
+    // Score in parallel, pick the winner in index order on the caller
+    // (same strict-greater tie-breaking as the old serial loop).
+    std::vector<DsePoint> points = sweep(opts);
+    const DsePoint *best = nullptr;
+    for (const DsePoint &p : points) {
+        if (!p.feasible)
+            continue;
+        if (!best || p.geomeanFlops > best->geomeanFlops)
+            best = &p;
+    }
     if (!best)
         ENA_FATAL("no feasible configuration under ", budgetW_,
                   " W budget");
@@ -87,15 +86,26 @@ AppBest
 DesignSpaceExplorer::findBestForApp(App app,
                                     const PowerOptConfig &opts) const
 {
+    struct Scored
+    {
+        double flops = 0.0;
+        double budgetPowerW = 0.0;
+    };
+    std::vector<Scored> scores = ThreadPool::global().parallelMap(
+        grid_.size(), [&](std::size_t i) {
+            EvalResult r = eval_.evaluate(configAt(i, opts), app);
+            return Scored{r.perf.flops, r.power.budgetPower()};
+        });
+
     std::optional<AppBest> best;
-    forEachConfig(opts, [&](const NodeConfig &cfg) {
-        EvalResult r = eval_.evaluate(cfg, app);
-        double power = r.power.budgetPower();
-        if (power > budgetW_)
-            return;
-        if (!best || r.perf.flops > best->flops)
-            best = AppBest{cfg, r.perf.flops, power};
-    });
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        if (scores[i].budgetPowerW > budgetW_)
+            continue;
+        if (!best || scores[i].flops > best->flops) {
+            best = AppBest{configAt(i, opts), scores[i].flops,
+                           scores[i].budgetPowerW};
+        }
+    }
     if (!best)
         ENA_FATAL("no feasible configuration for ", appName(app));
     return *best;
@@ -104,24 +114,28 @@ DesignSpaceExplorer::findBestForApp(App app,
 std::vector<TableIIRow>
 DesignSpaceExplorer::tableII(const NodeConfig &best_mean) const
 {
-    std::vector<TableIIRow> rows;
-    for (App app : allApps()) {
-        TableIIRow row;
-        row.app = app;
+    // One task per application row; the nested findBestForApp sweeps
+    // run inline on whichever thread owns the row.
+    const std::vector<App> &apps = allApps();
+    return ThreadPool::global().parallelMap(
+        apps.size(), [&](std::size_t i) {
+            App app = apps[i];
+            TableIIRow row;
+            row.app = app;
 
-        double base = eval_.evaluate(best_mean, app).perf.flops;
+            double base = eval_.evaluate(best_mean, app).perf.flops;
 
-        AppBest no_opt = findBestForApp(app, PowerOptConfig::none());
-        row.bestConfig = no_opt.cfg;
-        row.benefitNoOptPct = (no_opt.flops / base - 1.0) * 100.0;
+            AppBest no_opt = findBestForApp(app, PowerOptConfig::none());
+            row.bestConfig = no_opt.cfg;
+            row.benefitNoOptPct = (no_opt.flops / base - 1.0) * 100.0;
 
-        AppBest with_opt = findBestForApp(app, PowerOptConfig::all());
-        row.bestConfigOpt = with_opt.cfg;
-        row.benefitWithOptPct = (with_opt.flops / base - 1.0) * 100.0;
+            AppBest with_opt = findBestForApp(app, PowerOptConfig::all());
+            row.bestConfigOpt = with_opt.cfg;
+            row.benefitWithOptPct =
+                (with_opt.flops / base - 1.0) * 100.0;
 
-        rows.push_back(row);
-    }
-    return rows;
+            return row;
+        });
 }
 
 } // namespace ena

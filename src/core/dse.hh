@@ -16,6 +16,7 @@
 #ifndef ENA_CORE_DSE_HH
 #define ENA_CORE_DSE_HH
 
+#include <cstddef>
 #include <map>
 #include <optional>
 #include <vector>
@@ -76,6 +77,12 @@ struct TableIIRow
                                      ///< no-opt best-mean config
 };
 
+/**
+ * All sweeps run on the process-wide ThreadPool (ENA_THREADS); results
+ * are deterministic and identical to a single-threaded run because
+ * every grid point is scored independently into its own slot and all
+ * argmax reductions happen on the caller in grid-enumeration order.
+ */
 class DesignSpaceExplorer
 {
   public:
@@ -105,8 +112,9 @@ class DesignSpaceExplorer
     const DseGrid &grid() const { return grid_; }
 
   private:
-    template <typename Fn>
-    void forEachConfig(const PowerOptConfig &opts, Fn &&fn) const;
+    /** The grid point at flat index i (row-major over cus/freq/bw). */
+    NodeConfig configAt(std::size_t index,
+                        const PowerOptConfig &opts) const;
 
     const NodeEvaluator &eval_;
     DseGrid grid_;

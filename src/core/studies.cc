@@ -1,6 +1,7 @@
 #include "core/studies.hh"
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace ena {
 
@@ -25,21 +26,25 @@ OpbSweepStudy::sweepFrequency(App app, const std::vector<double> &bws,
                               const std::vector<double> &freqs) const
 {
     double base = eval_.evaluate(bestMean_, app).perf.flops;
-    std::vector<OpbCurve> curves;
-    for (double bw : bws) {
-        OpbCurve curve;
-        curve.bwTbs = bw;
-        for (double f : freqs) {
+    // Flatten (bw, freq) into one parallel sweep, then reassemble the
+    // per-bandwidth curves in order.
+    const std::size_t nf = freqs.size();
+    std::vector<OpbPoint> pts = ThreadPool::global().parallelMap(
+        bws.size() * nf, [&](std::size_t i) {
             NodeConfig cfg = bestMean_;
-            cfg.bwTbs = bw;
-            cfg.freqGhz = f;
+            cfg.bwTbs = bws[i / nf];
+            cfg.freqGhz = freqs[i % nf];
             OpbPoint p;
             p.cfg = cfg;
             p.opsPerByte = cfg.opsPerByte();
             p.normPerf = eval_.evaluate(cfg, app).perf.flops / base;
-            curve.points.push_back(p);
-        }
-        curves.push_back(std::move(curve));
+            return p;
+        });
+    std::vector<OpbCurve> curves(bws.size());
+    for (std::size_t b = 0; b < bws.size(); ++b) {
+        curves[b].bwTbs = bws[b];
+        curves[b].points.assign(pts.begin() + b * nf,
+                                pts.begin() + (b + 1) * nf);
     }
     return curves;
 }
@@ -49,21 +54,23 @@ OpbSweepStudy::sweepCuCount(App app, const std::vector<double> &bws,
                             const std::vector<int> &cus) const
 {
     double base = eval_.evaluate(bestMean_, app).perf.flops;
-    std::vector<OpbCurve> curves;
-    for (double bw : bws) {
-        OpbCurve curve;
-        curve.bwTbs = bw;
-        for (int c : cus) {
+    const std::size_t nc = cus.size();
+    std::vector<OpbPoint> pts = ThreadPool::global().parallelMap(
+        bws.size() * nc, [&](std::size_t i) {
             NodeConfig cfg = bestMean_;
-            cfg.bwTbs = bw;
-            cfg.cus = c;
+            cfg.bwTbs = bws[i / nc];
+            cfg.cus = cus[i % nc];
             OpbPoint p;
             p.cfg = cfg;
             p.opsPerByte = cfg.opsPerByte();
             p.normPerf = eval_.evaluate(cfg, app).perf.flops / base;
-            curve.points.push_back(p);
-        }
-        curves.push_back(std::move(curve));
+            return p;
+        });
+    std::vector<OpbCurve> curves(bws.size());
+    for (std::size_t b = 0; b < bws.size(); ++b) {
+        curves[b].bwTbs = bws[b];
+        curves[b].points.assign(pts.begin() + b * nc,
+                                pts.begin() + (b + 1) * nc);
     }
     return curves;
 }
@@ -98,10 +105,10 @@ std::vector<MissRateSeries>
 MissRateStudy::run() const
 {
     const std::vector<double> rates = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
-    std::vector<MissRateSeries> out;
-    for (App app : allApps())
-        out.push_back(run(app, rates));
-    return out;
+    const std::vector<App> &apps = allApps();
+    return ThreadPool::global().parallelMap(
+        apps.size(),
+        [&](std::size_t i) { return run(apps[i], rates); });
 }
 
 // --------------------------------------------------------------------
@@ -117,7 +124,6 @@ ExternalMemoryStudy::ExternalMemoryStudy(const NodeEvaluator &eval,
 std::vector<ExtMemBar>
 ExternalMemoryStudy::run() const
 {
-    std::vector<ExtMemBar> bars;
     const struct
     {
         const char *name;
@@ -126,18 +132,19 @@ ExternalMemoryStudy::run() const
         {"3D DRAM only", ExtMemConfig::dramOnly()},
         {"3D DRAM + NVM", ExtMemConfig::hybrid()},
     };
-    for (const auto &c : configs) {
-        for (App app : allApps()) {
+    const std::vector<App> &apps = allApps();
+    return ThreadPool::global().parallelMap(
+        2 * apps.size(), [&](std::size_t i) {
+            const auto &c = configs[i / apps.size()];
+            App app = apps[i % apps.size()];
             NodeConfig cfg = cfg_;
             cfg.ext = c.ext;
             ExtMemBar bar;
             bar.app = app;
             bar.configName = c.name;
             bar.power = eval_.evaluate(cfg, app).power;
-            bars.push_back(bar);
-        }
-    }
-    return bars;
+            return bar;
+        });
 }
 
 // --------------------------------------------------------------------
@@ -153,20 +160,22 @@ PerfPerWattStudy::PerfPerWattStudy(const NodeEvaluator &eval,
 std::vector<PerfPerWattRow>
 PerfPerWattStudy::run() const
 {
-    std::vector<PerfPerWattRow> rows;
-    for (App app : allApps()) {
-        EvalResult base = eval_.evaluate(baseCfg_, app);
-        EvalResult opt = eval_.evaluate(optCfg_, app);
-        PerfPerWattRow row;
-        row.app = app;
-        row.basePerfPerWatt =
-            base.perf.flops / base.power.budgetPower();
-        row.optPerfPerWatt = opt.perf.flops / opt.power.budgetPower();
-        row.improvementPct =
-            (row.optPerfPerWatt / row.basePerfPerWatt - 1.0) * 100.0;
-        rows.push_back(row);
-    }
-    return rows;
+    const std::vector<App> &apps = allApps();
+    return ThreadPool::global().parallelMap(
+        apps.size(), [&](std::size_t i) {
+            App app = apps[i];
+            EvalResult base = eval_.evaluate(baseCfg_, app);
+            EvalResult opt = eval_.evaluate(optCfg_, app);
+            PerfPerWattRow row;
+            row.app = app;
+            row.basePerfPerWatt =
+                base.perf.flops / base.power.budgetPower();
+            row.optPerfPerWatt =
+                opt.perf.flops / opt.power.budgetPower();
+            row.improvementPct =
+                (row.optPerfPerWatt / row.basePerfPerWatt - 1.0) * 100.0;
+            return row;
+        });
 }
 
 // --------------------------------------------------------------------
@@ -194,19 +203,18 @@ ExascaleProjector::systemMw(const NodeConfig &cfg, App app) const
 std::vector<ExascalePoint>
 ExascaleProjector::sweepCus(const std::vector<int> &cus) const
 {
-    std::vector<ExascalePoint> out;
-    for (int c : cus) {
-        NodeConfig cfg;
-        cfg.cus = c;
-        cfg.freqGhz = 1.0;
-        cfg.bwTbs = 1.0;
-        ExascalePoint p;
-        p.cus = c;
-        p.systemExaflops = systemExaflops(cfg, App::MaxFlops);
-        p.systemMw = systemMw(cfg, App::MaxFlops);
-        out.push_back(p);
-    }
-    return out;
+    return ThreadPool::global().parallelMap(
+        cus.size(), [&](std::size_t i) {
+            NodeConfig cfg;
+            cfg.cus = cus[i];
+            cfg.freqGhz = 1.0;
+            cfg.bwTbs = 1.0;
+            ExascalePoint p;
+            p.cus = cus[i];
+            p.systemExaflops = systemExaflops(cfg, App::MaxFlops);
+            p.systemMw = systemMw(cfg, App::MaxFlops);
+            return p;
+        });
 }
 
 } // namespace ena

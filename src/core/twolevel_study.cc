@@ -15,6 +15,7 @@
 #include "sim/simulation.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
+#include "util/thread_pool.hh"
 
 namespace ena {
 
@@ -118,9 +119,11 @@ TwoLevelStudy::sweep(App app, const TwoLevelParams &params,
                      const std::vector<double> &fractions) const
 {
     ENA_ASSERT(!fractions.empty(), "empty capacity sweep");
-    std::vector<TwoLevelPoint> out;
-    for (double f : fractions)
-        out.push_back(run(app, params, f));
+    // Every capacity point is a self-contained simulation; sweep them
+    // on the pool and normalize in index order afterwards.
+    std::vector<TwoLevelPoint> out = ThreadPool::global().parallelMap(
+        fractions.size(),
+        [&](std::size_t i) { return run(app, params, fractions[i]); });
     double base = out.front().runtimeUs;
     for (TwoLevelPoint &p : out)
         p.normPerf = base / p.runtimeUs;

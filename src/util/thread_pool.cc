@@ -1,0 +1,179 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace ena {
+
+namespace {
+
+/**
+ * Set while the current thread is executing chunks of a job (worker or
+ * participating caller): a nested parallelFor from such a thread runs
+ * inline instead of re-entering the pool.
+ */
+thread_local bool in_task = false;
+
+std::mutex global_pool_mutex;
+ThreadPool *global_pool = nullptr;
+
+} // anonymous namespace
+
+ThreadPool::ThreadPool(int threads)
+    : numThreads_(threads > 0 ? threads : defaultThreads())
+{
+    workers_.reserve(numThreads_ - 1);
+    for (int i = 0; i < numThreads_ - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("ENA_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<int>(std::min<long>(v, 1024));
+        warn("ignoring invalid ENA_THREADS='", env,
+             "' (want a positive integer)");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    // Leaked on purpose (still reachable, so no sanitizer report):
+    // never joining at exit means a worker that triggers a fatal exit
+    // can never deadlock on joining itself, and forked children
+    // (death tests) inherit a pool they can drive caller-only.
+    std::lock_guard<std::mutex> lk(global_pool_mutex);
+    if (!global_pool)
+        global_pool = new ThreadPool();
+    return *global_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int n)
+{
+    std::lock_guard<std::mutex> lk(global_pool_mutex);
+    delete global_pool;
+    global_pool = new ThreadPool(n);
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (numThreads_ <= 1 || n == 1 || in_task) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // One top-level job at a time per pool.
+    std::lock_guard<std::mutex> submit(submitMutex_);
+
+    Job job;
+    job.fn = &fn;
+    job.n = n;
+    job.chunk = std::max<std::size_t>(
+        1, n / (static_cast<std::size_t>(numThreads_) * 4));
+
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        job_ = &job;
+        ++generation_;
+    }
+    workCv_.notify_all();
+
+    // The caller works too, so the job drains even with no workers
+    // (single-thread pools, forked children).
+    in_task = true;
+    runChunks(job);
+    in_task = false;
+
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        doneCv_.wait(lk, [&] { return activeWorkers_ == 0; });
+        job_ = nullptr;
+    }
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    for (;;) {
+        std::size_t begin =
+            job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+        if (begin >= job.n)
+            return;
+        std::size_t end = std::min(begin + job.chunk, job.n);
+        try {
+            for (std::size_t i = begin; i < end; ++i)
+                (*job.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(m_);
+            if (!job.error)
+                job.error = std::current_exception();
+            // Abandon unclaimed work; chunks already claimed finish.
+            job.next.store(job.n, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            workCv_.wait(lk, [&] {
+                return stop_ || (job_ && generation_ != seen);
+            });
+            if (stop_)
+                return;
+            job = job_;
+            seen = generation_;
+            ++activeWorkers_;
+        }
+        in_task = true;
+        runChunks(*job);
+        in_task = false;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            --activeWorkers_;
+        }
+        doneCv_.notify_all();
+    }
+}
+
+void
+parallel_for(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    ThreadPool::global().parallelFor(n, fn);
+}
+
+} // namespace ena

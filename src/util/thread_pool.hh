@@ -1,0 +1,144 @@
+/**
+ * @file
+ * A small, deterministic thread pool for the embarrassingly parallel
+ * loops in ena-sim: design-space sweeps, per-application studies, and
+ * batched simulation runs.
+ *
+ * Design goals, in order:
+ *
+ *  1. Bit-identical results regardless of thread count. parallelFor
+ *     hands out index ranges from an atomic chunk counter; each worker
+ *     writes only into the slot(s) for the indices it claimed, and any
+ *     reduction happens afterwards on the caller in index order. There
+ *     is no work stealing and no order-dependent accumulation.
+ *  2. Graceful single-thread fallback: with one thread (or ENA_THREADS=1)
+ *     parallelFor degenerates to a plain serial loop on the caller, so
+ *     serial behaviour is the trivially correct reference.
+ *  3. Safe nesting: a parallelFor issued from inside a worker task runs
+ *     inline (serially) instead of deadlocking the pool, so library
+ *     code can parallelize freely without knowing its caller's context.
+ *
+ * The process-wide pool (ThreadPool::global()) sizes itself from the
+ * ENA_THREADS environment variable, defaulting to the hardware thread
+ * count. The caller always participates in the work, so a pool of N
+ * threads spawns N-1 workers and a job completes even if no worker
+ * ever wakes up (this also keeps gtest death tests, which fork, safe).
+ */
+
+#ifndef ENA_UTIL_THREAD_POOL_HH
+#define ENA_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ena {
+
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 means defaultThreads(). */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total threads participating in a job (workers + caller). */
+    int threads() const { return numThreads_; }
+
+    /**
+     * Run fn(i) for every i in [0, n), possibly concurrently. Blocks
+     * until every index has been processed. The first exception thrown
+     * by any task is rethrown on the caller (remaining chunks are
+     * abandoned, claimed chunks finish). fn must not assume any
+     * particular execution order; results must be written to
+     * per-index slots for determinism.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Evaluate fn(i) for i in [0, n) and return the results in index
+     * order — identical to a serial loop, any thread count.
+     */
+    template <typename Fn>
+    auto
+    parallelMap(std::size_t n, Fn &&fn)
+        -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>>
+    {
+        using T = std::decay_t<decltype(fn(std::size_t{0}))>;
+        std::vector<T> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /**
+     * ENA_THREADS when set to a positive integer, otherwise the
+     * hardware concurrency (at least 1).
+     */
+    static int defaultThreads();
+
+    /**
+     * The process-wide pool shared by all sweeps and studies.
+     * Constructed on first use with defaultThreads() threads;
+     * intentionally never destroyed (workers idle until process exit)
+     * so exit paths never join from inside a worker.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replace the global pool with an n-thread one (0 = default).
+     * For tests and benchmarks comparing serial vs parallel runs; call
+     * only from the main thread with no job in flight.
+     */
+    static void setGlobalThreads(int n);
+
+  private:
+    struct Job
+    {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t n = 0;
+        std::size_t chunk = 1;
+        std::atomic<std::size_t> next{0};
+        std::exception_ptr error;   ///< first failure; guarded by m_
+    };
+
+    void workerLoop();
+    void runChunks(Job &job);
+
+    int numThreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex submitMutex_;        ///< serializes top-level parallelFor
+    std::mutex m_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    Job *job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    int activeWorkers_ = 0;
+    bool stop_ = false;
+};
+
+/** parallelFor on the process-wide pool. */
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)> &fn);
+
+/** parallelMap on the process-wide pool. */
+template <typename Fn>
+auto
+parallel_map(std::size_t n, Fn &&fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>>
+{
+    return ThreadPool::global().parallelMap(n, std::forward<Fn>(fn));
+}
+
+} // namespace ena
+
+#endif // ENA_UTIL_THREAD_POOL_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * ThreadPool mechanics: determinism, edge cases (zero items, one item,
+ * more threads than items), nesting, and exception propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+using namespace ena;
+
+TEST(ThreadPool, ZeroItemsIsANoOp)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    EXPECT_TRUE(pool.parallelMap(0, [](std::size_t i) { return i; })
+                    .empty());
+}
+
+TEST(ThreadPool, OneItemRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, MoreThreadsThanItems)
+{
+    ThreadPool pool(16);
+    std::vector<int> hits(3, 0);
+    pool.parallelFor(3, [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 10007;   // prime, not a multiple of chunk
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, MapPreservesIndexOrder)
+{
+    ThreadPool pool(8);
+    auto out = pool.parallelMap(
+        1000, [](std::size_t i) { return 3 * i + 1; });
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 3 * i + 1);
+}
+
+TEST(ThreadPool, ParallelResultsMatchSerialBitwise)
+{
+    // A floating-point map whose per-slot results must not depend on
+    // the thread count (the determinism contract every sweep relies
+    // on).
+    auto work = [](std::size_t i) {
+        double x = static_cast<double>(i) + 0.5;
+        return std::sqrt(x) * std::log(x + 1.0) / (x + 2.0);
+    };
+    ThreadPool serial(1);
+    ThreadPool parallel(7);
+    auto a = serial.parallelMap(5000, work);
+    auto b = parallel.parallelMap(5000, work);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << "index " << i;   // bitwise, not near
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(1000,
+                         [](std::size_t i) {
+                             if (i == 617)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool survives a failed job and runs the next one normally.
+    std::atomic<int> calls{0};
+    pool.parallelFor(100, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromSerialFallback)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(
+                     10, [](std::size_t) { throw std::logic_error("x"); }),
+                 std::logic_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallelFor(8, [&](std::size_t outer) {
+        // Inner calls must not deadlock; they run serially on the
+        // owning thread.
+        pool.parallelFor(8, [&](std::size_t inner) {
+            ++hits[outer * 8 + inner];
+        });
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SequentialJobsReuseWorkers)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> calls{0};
+        pool.parallelFor(97, [&](std::size_t) { ++calls; });
+        ASSERT_EQ(calls.load(), 97);
+    }
+}
+
+TEST(ThreadPool, ThreadsReportsPoolSize)
+{
+    EXPECT_EQ(ThreadPool(3).threads(), 3);
+    EXPECT_EQ(ThreadPool(1).threads(), 1);
+    EXPECT_GE(ThreadPool().threads(), 1);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnaThreadsEnv)
+{
+    ASSERT_EQ(setenv("ENA_THREADS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 3);
+    ASSERT_EQ(setenv("ENA_THREADS", "not-a-number", 1), 0);
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);   // falls back, warns
+    ASSERT_EQ(unsetenv("ENA_THREADS"), 0);
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsResizable)
+{
+    ThreadPool::setGlobalThreads(2);
+    EXPECT_EQ(ThreadPool::global().threads(), 2);
+    std::atomic<int> calls{0};
+    parallel_for(10, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 10);
+    auto sq = parallel_map(5, [](std::size_t i) { return i * i; });
+    EXPECT_EQ(sq, (std::vector<std::size_t>{0, 1, 4, 9, 16}));
+    ThreadPool::setGlobalThreads(0);   // back to the default size
+    EXPECT_EQ(ThreadPool::global().threads(),
+              ThreadPool::defaultThreads());
+}
