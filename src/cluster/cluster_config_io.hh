@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Config-file bindings for ClusterConfig, mirroring node_config_io.hh:
+ * the cluster is described under the "cluster." prefix so one file can
+ * hold a full machine description (ehp.* / extmem.* / opts.* for the
+ * node next to cluster.* for the scale-out layer) and be loaded by both
+ * nodeConfigFromConfig and clusterConfigFromConfig.
+ *
+ * Recognized keys (all optional; defaults = ClusterConfig{}):
+ *
+ *   cluster.nodes, cluster.topology (fat-tree | dragonfly | 3d-torus),
+ *   cluster.links_per_node, cluster.link_gbs, cluster.link_latency_us,
+ *   cluster.pj_per_bit, cluster.fat_tree_radix, cluster.fat_tree_taper,
+ *   cluster.dragonfly_group_routers, cluster.torus_x, cluster.torus_y,
+ *   cluster.torus_z
+ *
+ * Unknown "cluster." keys are rejected to catch typos; keys outside the
+ * prefix are ignored (they belong to the node layers).
+ */
+
+#ifndef ENA_CLUSTER_CLUSTER_CONFIG_IO_HH
+#define ENA_CLUSTER_CLUSTER_CONFIG_IO_HH
+
+#include "cluster/cluster_config.hh"
+#include "util/config.hh"
+
+namespace ena {
+
+inline ClusterConfig
+clusterConfigFromConfig(const Config &cfg)
+{
+    static const char *known[] = {
+        "cluster.nodes", "cluster.topology", "cluster.links_per_node",
+        "cluster.link_gbs", "cluster.link_latency_us",
+        "cluster.pj_per_bit", "cluster.fat_tree_radix",
+        "cluster.fat_tree_taper", "cluster.dragonfly_group_routers",
+        "cluster.torus_x", "cluster.torus_y", "cluster.torus_z",
+    };
+    for (const std::string &key : cfg.keysWithPrefix("cluster.")) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            ENA_FATAL("unknown cluster-config key '", key, "'");
+    }
+
+    ClusterConfig c;
+    c.nodes = static_cast<int>(cfg.getInt("cluster.nodes", c.nodes));
+    c.topology = clusterTopologyFromName(cfg.getString(
+        "cluster.topology", clusterTopologyName(c.topology)));
+    c.linksPerNode = static_cast<int>(
+        cfg.getInt("cluster.links_per_node", c.linksPerNode));
+    c.linkGbs = cfg.getDouble("cluster.link_gbs", c.linkGbs);
+    c.linkLatencyUs =
+        cfg.getDouble("cluster.link_latency_us", c.linkLatencyUs);
+    c.pjPerBit = cfg.getDouble("cluster.pj_per_bit", c.pjPerBit);
+    c.fatTreeRadix = static_cast<int>(
+        cfg.getInt("cluster.fat_tree_radix", c.fatTreeRadix));
+    c.fatTreeTaper =
+        cfg.getDouble("cluster.fat_tree_taper", c.fatTreeTaper);
+    c.dragonflyGroupRouters = static_cast<int>(cfg.getInt(
+        "cluster.dragonfly_group_routers", c.dragonflyGroupRouters));
+    c.torusX = static_cast<int>(cfg.getInt("cluster.torus_x", c.torusX));
+    c.torusY = static_cast<int>(cfg.getInt("cluster.torus_y", c.torusY));
+    c.torusZ = static_cast<int>(cfg.getInt("cluster.torus_z", c.torusZ));
+
+    c.validate();
+    return c;
+}
+
+/** Serialize a ClusterConfig back into a Config ("cluster." keys). */
+inline Config
+clusterConfigToConfig(const ClusterConfig &c)
+{
+    Config cfg;
+    cfg.set("cluster.nodes", c.nodes);
+    cfg.set("cluster.topology", clusterTopologyName(c.topology));
+    cfg.set("cluster.links_per_node", c.linksPerNode);
+    cfg.set("cluster.link_gbs", c.linkGbs);
+    cfg.set("cluster.link_latency_us", c.linkLatencyUs);
+    cfg.set("cluster.pj_per_bit", c.pjPerBit);
+    cfg.set("cluster.fat_tree_radix", c.fatTreeRadix);
+    cfg.set("cluster.fat_tree_taper", c.fatTreeTaper);
+    cfg.set("cluster.dragonfly_group_routers", c.dragonflyGroupRouters);
+    cfg.set("cluster.torus_x", c.torusX);
+    cfg.set("cluster.torus_y", c.torusY);
+    cfg.set("cluster.torus_z", c.torusZ);
+    return cfg;
+}
+
+} // namespace ena
+
+#endif // ENA_CLUSTER_CLUSTER_CONFIG_IO_HH

@@ -12,6 +12,10 @@
  *   extmem.nvm_module_gb, extmem.interfaces, extmem.interface_gbs,
  *   opts.ntc, opts.async_cu, opts.async_router, opts.lp_links,
  *   opts.compression
+ *
+ * "cluster." keys are ignored here: they describe the scale-out layer
+ * and are parsed by clusterConfigFromConfig (src/cluster/), so a single
+ * file can describe the node and the machine around it.
  */
 
 #ifndef ENA_COMMON_NODE_CONFIG_IO_HH
@@ -35,6 +39,11 @@ nodeConfigFromConfig(const Config &cfg)
         "opts.compression",
     };
     for (const std::string &key : cfg.keysWithPrefix("")) {
+        // "cluster." keys describe the scale-out layer and are owned by
+        // clusterConfigFromConfig (src/cluster/cluster_config_io.hh), so
+        // one file can hold a full machine description.
+        if (key.rfind("cluster.", 0) == 0)
+            continue;
         bool ok = false;
         for (const char *k : known)
             ok = ok || key == k;

@@ -90,6 +90,41 @@ Topology::ehp(int gpu_chiplets, int cpu_clusters)
     return t;
 }
 
+Topology
+Topology::torus3d(int nx, int ny, int nz)
+{
+    if (nx < 1 || ny < 1 || nz < 1)
+        ENA_FATAL("torus3d needs positive dimensions, got ", nx, "x", ny,
+                  "x", nz);
+    Topology t;
+    t.numRouters_ = static_cast<std::uint32_t>(nx) * ny * nz;
+    t.cols_ = static_cast<std::uint32_t>(nx);
+    if (t.numRouters_ > 4096)
+        ENA_FATAL("torus3d is a validation helper; ", t.numRouters_,
+                  " routers is too large for all-pairs routing");
+
+    auto id = [&](int x, int y, int z) {
+        return static_cast<std::uint32_t>(x + nx * (y + ny * z));
+    };
+    // One ring per dimension through every perpendicular coordinate
+    // pair. A dimension of size 2 is a single bidirectional link (the
+    // wrap link would duplicate it); size 1 contributes nothing.
+    for (int z = 0; z < nz; ++z) {
+        for (int y = 0; y < ny; ++y) {
+            for (int x = 0; x < nx; ++x) {
+                if (nx > 1 && (x + 1 < nx || nx > 2))
+                    t.addLink(id(x, y, z), id((x + 1) % nx, y, z));
+                if (ny > 1 && (y + 1 < ny || ny > 2))
+                    t.addLink(id(x, y, z), id(x, (y + 1) % ny, z));
+                if (nz > 1 && (z + 1 < nz || nz > 2))
+                    t.addLink(id(x, y, z), id(x, y, (z + 1) % nz));
+            }
+        }
+    }
+    t.computeRoutes();
+    return t;
+}
+
 const TopologyNode &
 Topology::node(NodeId id) const
 {

@@ -54,6 +54,17 @@ class Topology
      */
     static Topology ehp(int gpu_chiplets = 8, int cpu_clusters = 2);
 
+    /**
+     * Build a pure router graph shaped as an nx x ny x nz torus with
+     * wraparound links in every dimension of size >= 3 (size-2 rings
+     * collapse to a single link; size-1 dimensions add none). Router id
+     * of coordinate (x, y, z) is x + nx*(y + ny*z). No endpoint nodes
+     * are attached: this exists so analytic inter-node network models
+     * (src/cluster/) can validate their closed-form hop counts against
+     * BFS-exact ones on small instances.
+     */
+    static Topology torus3d(int nx, int ny, int nz);
+
     const std::vector<TopologyNode> &nodes() const { return nodes_; }
     const std::vector<TopologyLink> &links() const { return links_; }
     std::uint32_t numRouters() const { return numRouters_; }

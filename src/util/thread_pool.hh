@@ -80,6 +80,25 @@ class ThreadPool
     }
 
     /**
+     * Evaluate fn(i) for i in [0, n) in parallel, then fold the results
+     * into @p init with op(acc, value) on the caller in strict index
+     * order: acc = op(op(op(init, fn(0)), fn(1)), ...). Because the
+     * reduction itself is serial and ordered, the result is
+     * bit-identical to a serial loop at any thread count even for
+     * non-associative (floating-point) or non-commutative operators.
+     */
+    template <typename T, typename Fn, typename Op>
+    T
+    parallelReduce(std::size_t n, T init, Fn &&fn, Op &&op)
+    {
+        auto values = parallelMap(n, std::forward<Fn>(fn));
+        T acc = std::move(init);
+        for (auto &v : values)
+            acc = op(std::move(acc), std::move(v));
+        return acc;
+    }
+
+    /**
      * ENA_THREADS when set to a positive integer, otherwise the
      * hardware concurrency (at least 1).
      */
@@ -137,6 +156,15 @@ parallel_map(std::size_t n, Fn &&fn)
     -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>>
 {
     return ThreadPool::global().parallelMap(n, std::forward<Fn>(fn));
+}
+
+/** parallelReduce on the process-wide pool. */
+template <typename T, typename Fn, typename Op>
+T
+parallel_reduce(std::size_t n, T init, Fn &&fn, Op &&op)
+{
+    return ThreadPool::global().parallelReduce(
+        n, std::move(init), std::forward<Fn>(fn), std::forward<Op>(op));
 }
 
 } // namespace ena

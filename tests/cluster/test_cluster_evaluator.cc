@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ClusterEvaluator: the zero-communication bit-identity with core's
+ * ExascaleProjector, communication derating, fabric power accounting,
+ * and the deterministic all-app reductions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster_evaluator.hh"
+#include "util/thread_pool.hh"
+
+using namespace ena;
+
+namespace {
+
+const NodeEvaluator &
+evaluator()
+{
+    static NodeEvaluator eval;
+    return eval;
+}
+
+} // anonymous namespace
+
+TEST(ClusterEvaluator, ZeroCommReproducesFig14BitIdentically)
+{
+    // The headline contract: with CommSpec::none() the cluster layer
+    // must return the ExascaleProjector numbers exactly (EXPECT_EQ on
+    // doubles, not NEAR) — for every app, not just MaxFlops.
+    ClusterConfig cluster = ClusterConfig::exascale();
+    ClusterEvaluator ce(evaluator(), cluster);
+    ExascaleProjector proj(evaluator(), cluster.nodes);
+    NodeConfig cfg = NodeConfig::bestMean();
+    for (App app : allApps()) {
+        ClusterResult r = ce.evaluate(cfg, app, CommSpec::none());
+        EXPECT_EQ(r.systemExaflops, proj.systemExaflops(cfg, app))
+            << appName(app);
+        EXPECT_EQ(r.systemMw, proj.systemMw(cfg, app)) << appName(app);
+        EXPECT_EQ(r.commEfficiency, 1.0) << appName(app);
+        EXPECT_EQ(r.networkMw, 0.0) << appName(app);
+    }
+}
+
+TEST(ClusterEvaluator, CommunicationOnlyEverDerates)
+{
+    ClusterEvaluator ce(evaluator(), ClusterConfig::exascale());
+    NodeConfig cfg = NodeConfig::bestMean();
+    for (App app : allApps()) {
+        for (CommPattern p : allCommPatterns()) {
+            CommSpec spec;
+            spec.pattern = p;
+            ClusterResult r = ce.evaluate(cfg, app, spec);
+            EXPECT_LE(r.systemExaflops, r.analyticExaflops)
+                << appName(app);
+            EXPECT_GT(r.systemExaflops, 0.0) << appName(app);
+            EXPECT_GE(r.networkMw, 0.0) << appName(app);
+            EXPECT_DOUBLE_EQ(r.systemMw, r.analyticMw + r.networkMw)
+                << appName(app);
+            EXPECT_DOUBLE_EQ(r.systemExaflops,
+                             r.analyticExaflops * r.commEfficiency)
+                << appName(app);
+        }
+    }
+}
+
+TEST(ClusterEvaluator, FabricPowerScalesWithTraffic)
+{
+    // Doubling the per-bit energy doubles the fabric megawatts; the
+    // package megawatts are untouched.
+    ClusterConfig a = ClusterConfig::exascale();
+    ClusterConfig b = a;
+    b.pjPerBit = 2.0 * a.pjPerBit;
+    ClusterEvaluator ea(evaluator(), a), eb(evaluator(), b);
+    NodeConfig cfg = NodeConfig::bestMean();
+    CommSpec halo;
+    ClusterResult ra = ea.evaluate(cfg, App::CoMD, halo);
+    ClusterResult rb = eb.evaluate(cfg, App::CoMD, halo);
+    EXPECT_GT(ra.networkMw, 0.0);
+    EXPECT_NEAR(rb.networkMw, 2.0 * ra.networkMw,
+                1e-9 * ra.networkMw);
+    EXPECT_EQ(ra.analyticMw, rb.analyticMw);
+}
+
+TEST(ClusterEvaluator, GeomeanMatchesManualSerialLoop)
+{
+    ClusterEvaluator ce(evaluator(), ClusterConfig::exascale());
+    NodeConfig cfg = NodeConfig::bestMean();
+    CommSpec halo;
+
+    double log_sum = 0.0;
+    for (App app : allApps())
+        log_sum += std::log(ce.evaluate(cfg, app, halo).systemExaflops);
+    double expected = std::exp(log_sum / allApps().size());
+
+    // The parallelReduce-based reduction must agree at any thread
+    // count (index-order reduction, bitwise-stable per-slot values).
+    ThreadPool::setGlobalThreads(1);
+    double serial = ce.geomeanSystemExaflops(cfg, halo);
+    ThreadPool::setGlobalThreads(4);
+    double parallel = ce.geomeanSystemExaflops(cfg, halo);
+    ThreadPool::setGlobalThreads(0);
+
+    EXPECT_EQ(serial, expected);
+    EXPECT_EQ(parallel, expected);
+}
+
+TEST(ClusterEvaluator, MeanEfficiencyIsAProperFraction)
+{
+    ClusterEvaluator ce(evaluator(), ClusterConfig::exascale());
+    NodeConfig cfg = NodeConfig::bestMean();
+    double m = ce.meanCommEfficiency(cfg, CommSpec{});
+    EXPECT_GT(m, 0.0);
+    EXPECT_LT(m, 1.0);   // some app always pays something
+    EXPECT_EQ(ce.meanCommEfficiency(cfg, CommSpec::none()), 1.0);
+}
+
+TEST(ClusterEvaluator, ExposesItsParts)
+{
+    ClusterConfig cluster = ClusterConfig::exascale();
+    ClusterEvaluator ce(evaluator(), cluster);
+    EXPECT_EQ(ce.clusterConfig().nodes, cluster.nodes);
+    EXPECT_EQ(ce.projector().nodes(), cluster.nodes);
+    EXPECT_DOUBLE_EQ(ce.network().injectionGbs(),
+                     cluster.injectionGbs());
+}

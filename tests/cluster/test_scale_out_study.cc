@@ -1,0 +1,131 @@
+/**
+ * @file
+ * ScaleOutStudy: weak/strong scaling shapes, the communication-aware
+ * Fig. 14 sweep's analytic column, and serial/parallel determinism of
+ * the sharded topology sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/scale_out_study.hh"
+#include "util/thread_pool.hh"
+
+using namespace ena;
+
+namespace {
+
+const NodeEvaluator &
+evaluator()
+{
+    static NodeEvaluator eval;
+    return eval;
+}
+
+ScaleOutStudy
+study()
+{
+    return ScaleOutStudy(evaluator(), ClusterConfig::exascale());
+}
+
+const std::vector<int> counts = {1, 64, 512, 4096, 32768};
+
+} // anonymous namespace
+
+TEST(ScaleOutStudy, WeakScalingStartsIdealAndNeverRecovers)
+{
+    auto curve = study().weakScaling(NodeConfig::bestMean(), App::CoMD,
+                                     CommSpec{}, counts);
+    ASSERT_EQ(curve.size(), counts.size());
+    // One node has no one to talk to: efficiency is exactly 1.
+    EXPECT_EQ(curve[0].nodes, 1);
+    EXPECT_EQ(curve[0].efficiency, 1.0);
+    EXPECT_EQ(curve[0].overheadRatio, 0.0);
+    for (size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_LE(curve[i].efficiency, curve[i - 1].efficiency + 1e-12)
+            << counts[i];
+        EXPECT_GT(curve[i].efficiency, 0.0);
+        // More nodes still means more delivered exaflops under weak
+        // scaling, just at decaying efficiency.
+        EXPECT_GT(curve[i].systemExaflops, curve[i - 1].systemExaflops);
+    }
+}
+
+TEST(ScaleOutStudy, StrongScalingDecaysFasterThanWeak)
+{
+    NodeConfig cfg = NodeConfig::bestMean();
+    auto weak =
+        study().weakScaling(cfg, App::LULESH, CommSpec{}, counts);
+    auto strong =
+        study().strongScaling(cfg, App::LULESH, CommSpec{}, counts);
+    ASSERT_EQ(weak.size(), strong.size());
+    EXPECT_EQ(strong[0].efficiency, 1.0);
+    for (size_t i = 1; i < counts.size(); ++i)
+        EXPECT_LT(strong[i].efficiency, weak[i].efficiency)
+            << counts[i];
+}
+
+TEST(ScaleOutStudy, Fig14AnalyticColumnIsTheProjector)
+{
+    // The analytic side of the comm-aware Fig. 14 must be exactly the
+    // core sweep (same code path, same numbers — the bench gates the
+    // zero-comm case; this pins the columns at full intensity too).
+    const std::vector<int> cus = {192, 256, 320};
+    ExascaleProjector proj(evaluator(),
+                           ClusterConfig::exascale().nodes);
+    auto reference = proj.sweepCus(cus);
+    auto aware = study().fig14(cus, CommSpec{});
+    ASSERT_EQ(aware.size(), cus.size());
+    for (size_t i = 0; i < cus.size(); ++i) {
+        EXPECT_EQ(aware[i].cus, reference[i].cus);
+        EXPECT_EQ(aware[i].analyticExaflops,
+                  reference[i].systemExaflops);
+        EXPECT_EQ(aware[i].analyticMw, reference[i].systemMw);
+        EXPECT_LE(aware[i].commExaflops, aware[i].analyticExaflops);
+        EXPECT_DOUBLE_EQ(aware[i].commExaflops,
+                         aware[i].analyticExaflops *
+                             aware[i].efficiency);
+    }
+}
+
+TEST(ScaleOutStudy, TopologySweepIsDeterministicAcrossThreadCounts)
+{
+    const std::vector<int> sizes = {1000, 8000, 27000};
+    CommSpec a2a;
+    a2a.pattern = CommPattern::AllToAll;
+    NodeConfig cfg = NodeConfig::bestMean();
+
+    ThreadPool::setGlobalThreads(1);
+    auto serial = study().topologySweep(cfg, App::CoMD, a2a,
+                                        allClusterTopologies(), sizes);
+    ThreadPool::setGlobalThreads(5);
+    auto parallel = study().topologySweep(cfg, App::CoMD, a2a,
+                                          allClusterTopologies(), sizes);
+    ThreadPool::setGlobalThreads(0);
+
+    ASSERT_EQ(serial.size(), allClusterTopologies().size() * sizes.size());
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].topology, parallel[i].topology);
+        EXPECT_EQ(serial[i].nodes, parallel[i].nodes);
+        EXPECT_EQ(serial[i].avgHops, parallel[i].avgHops);
+        EXPECT_EQ(serial[i].bisectionGbs, parallel[i].bisectionGbs);
+        EXPECT_EQ(serial[i].efficiency, parallel[i].efficiency);
+        EXPECT_EQ(serial[i].systemExaflops, parallel[i].systemExaflops);
+        EXPECT_EQ(serial[i].systemMw, parallel[i].systemMw);
+    }
+}
+
+TEST(ScaleOutStudy, TopologySweepIsTopologyMajor)
+{
+    const std::vector<int> sizes = {1000, 8000};
+    auto sweep =
+        study().topologySweep(NodeConfig::bestMean(), App::CoMD,
+                              CommSpec{}, allClusterTopologies(), sizes);
+    ASSERT_EQ(sweep.size(), 6u);
+    EXPECT_EQ(sweep[0].topology, ClusterTopology::FatTree);
+    EXPECT_EQ(sweep[0].nodes, 1000);
+    EXPECT_EQ(sweep[1].topology, ClusterTopology::FatTree);
+    EXPECT_EQ(sweep[1].nodes, 8000);
+    EXPECT_EQ(sweep[2].topology, ClusterTopology::Dragonfly);
+    EXPECT_EQ(sweep[5].topology, ClusterTopology::Torus3D);
+}

@@ -142,6 +142,43 @@ TEST(Exascale, NodeCountScalesSystemNumbers)
                 2.0 * half.systemMw(cfg, App::MaxFlops), 1e-9);
 }
 
+TEST(Exascale, SingleNodeProjectorIsTheNodeItself)
+{
+    // nodes = 1: the "system" is one node, so the projection is just
+    // the node's own numbers in exa/mega units.
+    ExascaleProjector one(evaluator(), 1);
+    NodeConfig cfg = NodeConfig::bestMean();
+    EvalResult r = evaluator().evaluate(cfg, App::CoMD);
+    EXPECT_EQ(one.nodes(), 1);
+    EXPECT_DOUBLE_EQ(one.systemExaflops(cfg, App::CoMD),
+                     r.perf.flops / 1e18);
+    EXPECT_DOUBLE_EQ(one.systemMw(cfg, App::CoMD),
+                     r.power.packagePower() / 1e6);
+}
+
+TEST(Exascale, EmptyCuListYieldsEmptySweep)
+{
+    ExascaleProjector proj(evaluator());
+    EXPECT_TRUE(proj.sweepCus({}).empty());
+}
+
+TEST(Exascale, SystemPowerIsPackageScope)
+{
+    // Fig. 14 power is the processor-package scenario: systemMw must
+    // be exactly packagePower() x nodes, not the node total with
+    // external memory included.
+    ExascaleProjector proj(evaluator(), 100000);
+    NodeConfig cfg = NodeConfig::bestMean();
+    for (App app : {App::MaxFlops, App::CoMD, App::XSBench}) {
+        EvalResult r = evaluator().evaluate(cfg, app);
+        EXPECT_DOUBLE_EQ(proj.systemMw(cfg, app),
+                         r.power.packagePower() * 100000.0 / 1e6)
+            << appName(app);
+        EXPECT_LE(r.power.packagePower(), r.power.total())
+            << appName(app);
+    }
+}
+
 TEST(ThermalStudyDriver, RowsForEveryApp)
 {
     NodeEvaluator eval;

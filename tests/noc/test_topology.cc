@@ -112,3 +112,58 @@ TEST(TopologyDeathTest, OddChipletCountIsFatal)
     EXPECT_EXIT(Topology::ehp(7, 2), testing::ExitedWithCode(1),
                 "even GPU chiplet count");
 }
+
+TEST(Topology, Torus3dShape)
+{
+    Topology t = Topology::torus3d(4, 3, 2);
+    EXPECT_EQ(t.numRouters(), 24u);
+    // Pure router graph: no endpoint nodes attached.
+    EXPECT_TRUE(t.nodes().empty());
+}
+
+TEST(Topology, Torus3dRingDistances)
+{
+    // A 5x1x1 torus is a 5-ring: the wrap link makes the far end 2
+    // hops away instead of 4.
+    Topology ring = Topology::torus3d(5, 1, 1);
+    EXPECT_EQ(ring.hopCount(0, 1), 1u);
+    EXPECT_EQ(ring.hopCount(0, 4), 1u);   // wrap
+    EXPECT_EQ(ring.hopCount(0, 2), 2u);
+    EXPECT_EQ(ring.hopCount(0, 3), 2u);
+}
+
+TEST(Topology, Torus3dSizeTwoDimensionHasNoDoubleLink)
+{
+    // In a size-2 dimension the "wrap" would duplicate the direct
+    // link; neighbors are 1 hop apart, not 0-or-2.
+    Topology t = Topology::torus3d(2, 2, 2);
+    EXPECT_EQ(t.numRouters(), 8u);
+    for (std::uint32_t a = 0; a < 8; ++a) {
+        for (std::uint32_t b = 0; b < 8; ++b) {
+            // Hamming distance on the 3-bit coordinates.
+            std::uint32_t d = __builtin_popcount(a ^ b);
+            EXPECT_EQ(t.hopCount(a, b), d) << a << "->" << b;
+        }
+    }
+}
+
+TEST(Topology, Torus3dDiameterIsSumOfHalfDims)
+{
+    Topology t = Topology::torus3d(6, 4, 2);
+    std::uint32_t max_h = 0;
+    for (std::uint32_t a = 0; a < t.numRouters(); ++a) {
+        for (std::uint32_t b = 0; b < t.numRouters(); ++b)
+            max_h = std::max(max_h, t.hopCount(a, b));
+    }
+    EXPECT_EQ(max_h, 6u / 2 + 4u / 2 + 2u / 2);
+}
+
+TEST(TopologyDeathTest, Torus3dRejectsBadDims)
+{
+    EXPECT_EXIT(Topology::torus3d(0, 4, 4), testing::ExitedWithCode(1),
+                "positive dimensions");
+    // The explicit graph is a validation helper, capped well below the
+    // scale-out machine's size.
+    EXPECT_EXIT(Topology::torus3d(64, 64, 64),
+                testing::ExitedWithCode(1), "validation helper");
+}

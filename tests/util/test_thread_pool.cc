@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/thread_pool.hh"
@@ -149,6 +150,67 @@ TEST(ThreadPool, DefaultThreadsHonorsEnaThreadsEnv)
     EXPECT_GE(ThreadPool::defaultThreads(), 1);   // falls back, warns
     ASSERT_EQ(unsetenv("ENA_THREADS"), 0);
     EXPECT_GE(ThreadPool::defaultThreads(), 1);
+}
+
+TEST(ThreadPool, ReduceSumsInIndexOrder)
+{
+    ThreadPool pool(8);
+    auto sum = pool.parallelReduce(
+        1000, std::size_t{0}, [](std::size_t i) { return i; },
+        [](std::size_t acc, std::size_t v) { return acc + v; });
+    EXPECT_EQ(sum, 999u * 1000u / 2u);
+}
+
+TEST(ThreadPool, ReduceOfZeroItemsReturnsInit)
+{
+    ThreadPool pool(4);
+    auto r = pool.parallelReduce(
+        0, 42, [](std::size_t) { return 7; },
+        [](int acc, int v) { return acc + v; });
+    EXPECT_EQ(r, 42);
+}
+
+TEST(ThreadPool, ReduceIsDeterministicForNonCommutativeOps)
+{
+    // String concatenation is order-sensitive: the reduction must fold
+    // slots in index order regardless of which thread produced them.
+    auto digit = [](std::size_t i) { return std::to_string(i % 10); };
+    auto concat = [](std::string acc, std::string v) {
+        return std::move(acc) + std::move(v);
+    };
+    ThreadPool serial(1);
+    ThreadPool parallel(8);
+    auto a = serial.parallelReduce(200, std::string{}, digit, concat);
+    auto b = parallel.parallelReduce(200, std::string{}, digit, concat);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 200u);
+    EXPECT_EQ(a.substr(0, 12), "012345678901");
+}
+
+TEST(ThreadPool, ReduceFloatingPointBitIdenticalToSerial)
+{
+    // FP addition is non-associative, so a deterministic reduction must
+    // not regroup terms by thread count.
+    auto term = [](std::size_t i) {
+        double x = static_cast<double>(i) + 0.25;
+        return std::sqrt(x) / (x + 1.0);
+    };
+    auto add = [](double acc, double v) { return acc + v; };
+    ThreadPool serial(1);
+    ThreadPool parallel(7);
+    double a = serial.parallelReduce(5000, 0.0, term, add);
+    double b = parallel.parallelReduce(5000, 0.0, term, add);
+    EXPECT_EQ(a, b);   // bitwise, not near
+}
+
+TEST(ThreadPool, FreeFunctionReduceUsesGlobalPool)
+{
+    ThreadPool::setGlobalThreads(3);
+    auto sum = parallel_reduce(
+        100, 0, [](std::size_t i) { return static_cast<int>(i); },
+        [](int acc, int v) { return acc + v; });
+    EXPECT_EQ(sum, 4950);
+    ThreadPool::setGlobalThreads(0);
 }
 
 TEST(ThreadPool, GlobalPoolIsResizable)
