@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Telemetry cost gates on the paper's hottest loop (the full DSE grid
+ * sweep):
+ *
+ *  1. Disabled overhead: with tracing and metrics off, the instrumented
+ *     DesignSpaceExplorer::sweep must stay within 2% of a bench-local
+ *     replica of the same loop with no span/trace calls at all. Both
+ *     sides share NodeEvaluator's single always-on relaxed counter
+ *     increment per evaluation — the gate measures the span and trace
+ *     machinery added around it.
+ *
+ *  2. Determinism: with tracing AND metrics enabled (in memory), the
+ *     parallel sweep must stay element-for-element bit-identical to
+ *     the serial sweep. Telemetry is write-only; this proves it.
+ *
+ * Exit code 1 when either gate fails, so CI enforces both.
+ *
+ * Usage: bench_telemetry_overhead [THREADS]   (default: ENA_THREADS/all)
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/dse.hh"
+#include "telemetry/telemetry.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+using namespace ena;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * The sweep body with zero telemetry in the loop: same enumeration
+ * order, same evaluator calls, results into per-index slots.
+ */
+std::vector<DsePoint>
+plainSweep(const NodeEvaluator &eval, const DseGrid &grid,
+           double budget_w)
+{
+    const std::size_t nf = grid.freqsGhz.size();
+    const std::size_t nb = grid.bwsTbs.size();
+    std::vector<DsePoint> points(grid.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        NodeConfig cfg;
+        cfg.cus = grid.cus[i / (nf * nb)];
+        cfg.freqGhz = grid.freqsGhz[(i / nb) % nf];
+        cfg.bwTbs = grid.bwsTbs[i % nb];
+        cfg.opts = PowerOptConfig::none();
+        DsePoint &p = points[i];
+        p.cfg = cfg;
+        p.geomeanFlops = eval.geomeanFlops(cfg);
+        p.meanBudgetPowerW = eval.meanBudgetPower(cfg);
+        p.maxBudgetPowerW = eval.maxBudgetPower(cfg);
+        p.feasible = p.maxBudgetPowerW <= budget_w;
+    }
+    return points;
+}
+
+bool
+identicalPoints(const std::vector<DsePoint> &a,
+                const std::vector<DsePoint> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].geomeanFlops != b[i].geomeanFlops ||
+            a[i].meanBudgetPowerW != b[i].meanBudgetPowerW ||
+            a[i].maxBudgetPowerW != b[i].maxBudgetPowerW ||
+            a[i].feasible != b[i].feasible ||
+            a[i].cfg.cus != b[i].cfg.cus ||
+            a[i].cfg.freqGhz != b[i].cfg.freqGhz ||
+            a[i].cfg.bwTbs != b[i].cfg.bwTbs)
+            return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    int threads = argc > 1 ? std::atoi(argv[1])
+                           : ThreadPool::defaultThreads();
+    if (threads < 1)
+        threads = 1;
+    const int repeats = 9;
+    const double gate_pct = 2.0;
+
+    bench::banner("Telemetry overhead gates",
+                  "Disabled-mode cost of the instrumented DSE sweep vs "
+                  "an uninstrumented replica,\nand serial/parallel "
+                  "bit-identity with tracing and metrics enabled.");
+
+    const NodeEvaluator &eval = bench::evaluator();
+    DseGrid grid = DseGrid::paperGrid();
+    DesignSpaceExplorer dse(eval, grid, cal::nodePowerBudgetW);
+
+    // A run under ENA_TRACE/ENA_METRICS would invalidate the
+    // disabled-mode measurement; make the state explicit instead.
+    telemetry::disableTracing();
+    telemetry::disableMetrics();
+
+    std::cout << "grid: " << grid.size()
+              << " configurations; serial timing, min of " << repeats
+              << " interleaved repeats\n\n";
+
+    // ---- Gate 1: disabled-mode overhead (serial, interleaved) ------
+    // Scheduling noise on a shared/1-core host can only inflate the
+    // measured overhead, never hide real cost, so the gate takes the
+    // best of up to 3 independent measurement attempts.
+    ThreadPool::setGlobalThreads(1);
+    double plain_best = 1e30, instr_best = 1e30;
+    double overhead_pct = 1e30;
+    std::vector<DsePoint> plain_pts, instr_pts;
+    for (int attempt = 0; attempt < 3 && overhead_pct > gate_pct;
+         ++attempt) {
+        plain_best = instr_best = 1e30;
+        for (int r = 0; r < repeats; ++r) {
+            auto t0 = std::chrono::steady_clock::now();
+            plain_pts = plainSweep(eval, grid, cal::nodePowerBudgetW);
+            plain_best = std::min(plain_best, secondsSince(t0));
+
+            t0 = std::chrono::steady_clock::now();
+            instr_pts = dse.sweep(PowerOptConfig::none());
+            instr_best = std::min(instr_best, secondsSince(t0));
+        }
+        overhead_pct = (instr_best / plain_best - 1.0) * 100.0;
+    }
+
+    TextTable t({"variant", "best ms", "overhead"});
+    t.row().add("plain replica (no telemetry)")
+        .add(plain_best * 1e3, "%.3f")
+        .add("--");
+    t.row().add("instrumented sweep, disabled")
+        .add(instr_best * 1e3, "%.3f")
+        .add(overhead_pct, "%+.2f%%");
+    bench::show(t, "telemetry_overhead");
+
+    if (!identicalPoints(plain_pts, instr_pts)) {
+        std::cerr << "\nFAIL: instrumented sweep results differ from "
+                     "the plain replica\n";
+        return 1;
+    }
+    if (overhead_pct > gate_pct) {
+        std::cerr << "\nFAIL: disabled-mode overhead " << overhead_pct
+                  << "% > " << gate_pct << "% gate\n";
+        return 1;
+    }
+    std::cout << "\ndisabled-overhead gate: " << overhead_pct << "% <= "
+              << gate_pct << "% — ok\n";
+
+    // ---- Gate 2: determinism with telemetry fully enabled ----------
+    telemetry::enableTracing();   // in-memory, no file
+    telemetry::enableMetrics();
+
+    ThreadPool::setGlobalThreads(1);
+    std::vector<DsePoint> serial = dse.sweep(PowerOptConfig::none());
+    ThreadPool::setGlobalThreads(threads);
+    std::vector<DsePoint> parallel = dse.sweep(PowerOptConfig::none());
+
+    telemetry::disableTracing();
+    telemetry::disableMetrics();
+    telemetry::reset();
+    ThreadPool::setGlobalThreads(0);
+
+    if (!identicalPoints(serial, parallel)) {
+        std::cerr << "FAIL: with tracing+metrics enabled, the parallel "
+                     "sweep differs from the serial sweep\n";
+        return 1;
+    }
+    std::cout << "determinism gate: tracing+metrics on, " << threads
+              << "-thread sweep bit-identical to serial — ok\n";
+    return 0;
+}

@@ -2,9 +2,34 @@
 
 #include <cmath>
 
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
 #include "util/thread_pool.hh"
 
 namespace ena {
+
+namespace {
+
+telemetry::Counter &
+fabricBytesCounter()
+{
+    static telemetry::Counter &c = telemetry::counter(
+        "cluster.fabric_bytes",
+        "per-node fabric bytes per compute-second, summed over all "
+        "cluster evaluations");
+    return c;
+}
+
+telemetry::Counter &
+clusterEvalsCounter()
+{
+    static telemetry::Counter &c = telemetry::counter(
+        "cluster.evaluations",
+        "(config, app, comm spec) system evaluations");
+    return c;
+}
+
+} // anonymous namespace
 
 ClusterEvaluator::ClusterEvaluator(const NodeEvaluator &eval,
                                    ClusterConfig cluster)
@@ -17,6 +42,7 @@ ClusterResult
 ClusterEvaluator::evaluate(const NodeConfig &cfg, App app,
                            const CommSpec &spec) const
 {
+    telemetry::ScopedSpan span("cluster", "evaluate");
     ClusterResult r;
     r.app = app;
     r.spec = spec;
@@ -45,6 +71,10 @@ ClusterEvaluator::evaluate(const NodeConfig &cfg, App app,
                                   net_.avgHops();
     r.networkMw = watts_per_node * cluster_.nodes / 1e6;
     r.systemMw = r.analyticMw + r.networkMw;
+
+    clusterEvalsCounter().add();
+    fabricBytesCounter().add(
+        static_cast<std::uint64_t>(traffic_bytes_per_sec));
     return r;
 }
 

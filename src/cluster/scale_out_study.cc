@@ -1,5 +1,6 @@
 #include "cluster/scale_out_study.hh"
 
+#include "telemetry/telemetry.hh"
 #include "util/thread_pool.hh"
 
 namespace ena {
@@ -16,8 +17,10 @@ ScaleOutStudy::scalingCurve(const NodeConfig &cfg, App app,
                             CommSpec spec,
                             const std::vector<int> &node_counts) const
 {
+    ENA_SPAN("cluster", "scaling_curve");
     return ThreadPool::global().parallelMap(
         node_counts.size(), [&](std::size_t i) {
+            telemetry::ScopedSpan span("cluster", "evaluate_node_count");
             ClusterConfig cc = base_;
             cc.nodes = node_counts[i];
             // Explicit torus dims only fit the base node count.
@@ -56,6 +59,7 @@ std::vector<ClusterFig14Point>
 ScaleOutStudy::fig14(const std::vector<int> &cus,
                      const CommSpec &spec) const
 {
+    ENA_SPAN("cluster", "fig14_sweep");
     ClusterEvaluator ce(eval_, base_);
     return ThreadPool::global().parallelMap(
         cus.size(), [&](std::size_t i) {
@@ -83,9 +87,11 @@ ScaleOutStudy::topologySweep(
     const std::vector<ClusterTopology> &topologies,
     const std::vector<int> &node_counts) const
 {
+    ENA_SPAN("cluster", "topology_sweep");
     const std::size_t nn = node_counts.size();
     return ThreadPool::global().parallelMap(
         topologies.size() * nn, [&](std::size_t i) {
+            telemetry::ScopedSpan span("cluster", "evaluate_topology");
             ClusterConfig cc = base_;
             cc.topology = topologies[i / nn];
             cc.nodes = node_counts[i % nn];

@@ -3,10 +3,39 @@
 #include <algorithm>
 
 #include "common/calibration.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace ena {
+
+namespace {
+
+telemetry::Counter &
+configsCounter()
+{
+    static telemetry::Counter &c = telemetry::counter(
+        "dse.configs_evaluated",
+        "grid points scored across all DSE sweeps and searches");
+    return c;
+}
+
+/** Publish the configs/sec rate of the sweep that just finished. */
+void
+publishSweepRate(std::size_t n, double t0_us)
+{
+    if (!telemetry::metricsEnabled())
+        return;
+    double sec = (telemetry::nowUs() - t0_us) * 1e-6;
+    if (sec > 0.0) {
+        telemetry::gauge("dse.configs_per_sec",
+                         "grid throughput of the most recent DSE sweep")
+            .set(static_cast<double>(n) / sec);
+    }
+}
+
+} // anonymous namespace
 
 DseGrid
 DseGrid::paperGrid()
@@ -51,8 +80,11 @@ DesignSpaceExplorer::sweep(const PowerOptConfig &opts) const
     // Each grid point is independent; workers fill their own slots and
     // no reduction happens here, so the output is identical to the
     // serial enumeration for any thread count.
-    return ThreadPool::global().parallelMap(
+    ENA_SPAN("dse", "sweep");
+    const double t0 = telemetry::nowUs();
+    auto points = ThreadPool::global().parallelMap(
         grid_.size(), [&](std::size_t i) {
+            telemetry::ScopedSpan span("dse", "evaluate_config");
             DsePoint p;
             p.cfg = configAt(i, opts);
             p.geomeanFlops = eval_.geomeanFlops(p.cfg);
@@ -61,6 +93,9 @@ DesignSpaceExplorer::sweep(const PowerOptConfig &opts) const
             p.feasible = p.maxBudgetPowerW <= budgetW_;
             return p;
         });
+    configsCounter().add(grid_.size());
+    publishSweepRate(grid_.size(), t0);
+    return points;
 }
 
 NodeConfig
@@ -68,6 +103,7 @@ DesignSpaceExplorer::findBestMean(const PowerOptConfig &opts) const
 {
     // Score in parallel, pick the winner in index order on the caller
     // (same strict-greater tie-breaking as the old serial loop).
+    ENA_SPAN("dse", "find_best_mean");
     std::vector<DsePoint> points = sweep(opts);
     const DsePoint *best = nullptr;
     for (const DsePoint &p : points) {
@@ -86,6 +122,8 @@ AppBest
 DesignSpaceExplorer::findBestForApp(App app,
                                     const PowerOptConfig &opts) const
 {
+    telemetry::ScopedSpan span(
+        "dse", std::string("find_best_for_app:") + appName(app));
     struct Scored
     {
         double flops = 0.0;
@@ -96,6 +134,7 @@ DesignSpaceExplorer::findBestForApp(App app,
             EvalResult r = eval_.evaluate(configAt(i, opts), app);
             return Scored{r.perf.flops, r.power.budgetPower()};
         });
+    configsCounter().add(grid_.size());
 
     std::optional<AppBest> best;
     for (std::size_t i = 0; i < scores.size(); ++i) {
@@ -116,10 +155,13 @@ DesignSpaceExplorer::tableII(const NodeConfig &best_mean) const
 {
     // One task per application row; the nested findBestForApp sweeps
     // run inline on whichever thread owns the row.
+    ENA_SPAN("dse", "table2");
     const std::vector<App> &apps = allApps();
     return ThreadPool::global().parallelMap(
         apps.size(), [&](std::size_t i) {
             App app = apps[i];
+            telemetry::ScopedSpan span(
+                "dse", std::string("table2_row:") + appName(app));
             TableIIRow row;
             row.app = app;
 

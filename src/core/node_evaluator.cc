@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hh"
 #include "util/stats_math.hh"
 
 namespace ena {
@@ -9,6 +10,13 @@ namespace ena {
 EvalResult
 NodeEvaluator::evaluate(const NodeConfig &cfg, App app) const
 {
+    // Hottest call in the stack (every sweep funnels through here):
+    // one cached-reference relaxed increment, no spans.
+    static telemetry::Counter &evals = telemetry::counter(
+        "node.evaluations",
+        "(config, application) pairs evaluated by NodeEvaluator");
+    evals.add();
+
     const KernelProfile &k = profileFor(app);
     EvalResult r;
     r.app = app;

@@ -1,5 +1,6 @@
 #include "core/thermal_study.hh"
 
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace ena {
@@ -21,6 +22,7 @@ std::vector<ThermalRow>
 ThermalStudy::run(const NodeConfig &best_mean,
                   const std::vector<TableIIRow> &table2) const
 {
+    ENA_SPAN("thermal", "fig10_study");
     std::vector<ThermalRow> rows;
     for (App app : allApps()) {
         ThermalRow row;

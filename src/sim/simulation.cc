@@ -1,5 +1,8 @@
 #include "sim/simulation.hh"
 
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
+
 namespace ena {
 
 void
@@ -19,8 +22,38 @@ Simulation::initAll()
 std::uint64_t
 Simulation::run(Tick limit)
 {
+    ENA_SPAN("sim", "run");
     initAll();
-    return eventq_.run(limit);
+    std::uint64_t events = eventq_.run(limit);
+
+    static telemetry::Counter &processed = telemetry::counter(
+        "sim.events_processed",
+        "events executed across all cycle-level simulations");
+    processed.add(events);
+    if (telemetry::metricsEnabled())
+        publishStats();
+    return events;
+}
+
+void
+Simulation::publishStats() const
+{
+    stats_.forEach([](const StatBase &s) {
+        if (const auto *sc = dynamic_cast<const StatScalar *>(&s)) {
+            telemetry::gauge("sim." + sc->name(), sc->desc())
+                .set(sc->value());
+        } else if (const auto *f =
+                       dynamic_cast<const StatFormula *>(&s)) {
+            telemetry::gauge("sim." + f->name(), f->desc())
+                .set(f->value());
+        } else if (const auto *d =
+                       dynamic_cast<const StatDistribution *>(&s)) {
+            telemetry::gauge("sim." + d->name() + ".samples", d->desc())
+                .set(static_cast<double>(d->samples()));
+            telemetry::gauge("sim." + d->name() + ".mean", d->desc())
+                .set(d->mean());
+        }
+    });
 }
 
 } // namespace ena

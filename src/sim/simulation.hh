@@ -51,9 +51,20 @@ class Simulation
 
     /**
      * initAll() if needed, then run to completion or @p limit ticks.
-     * Returns number of events processed.
+     * Returns number of events processed. Traced as a "sim" span; when
+     * metrics are enabled the stat registry is bridged into the
+     * telemetry registry afterwards (see publishStats()).
      */
     std::uint64_t run(Tick limit = ~Tick(0));
+
+    /**
+     * Mirror every scalar/formula stat into the process-wide telemetry
+     * registry as gauge "sim.<name>" (distributions become
+     * "sim.<name>.samples"/".mean"). Called automatically at the end
+     * of run() when ENA_METRICS is active; last writer wins if several
+     * simulations share stat names.
+     */
+    void publishStats() const;
 
     size_t numObjects() const { return objects_.size(); }
 

@@ -148,6 +148,14 @@ StatRegistry::dump(std::ostream &os) const
 }
 
 void
+StatRegistry::forEach(
+    const std::function<void(const StatBase &)> &fn) const
+{
+    for (const auto &[name, stat] : stats_)
+        fn(*stat);
+}
+
+void
 StatRegistry::resetAll()
 {
     for (auto &[name, stat] : stats_)

@@ -137,6 +137,9 @@ class StatRegistry
     /** Dump "name value # desc" lines sorted by name. */
     void dump(std::ostream &os) const;
 
+    /** Visit every registered stat in name order. */
+    void forEach(const std::function<void(const StatBase &)> &fn) const;
+
     /** Reset every registered stat. */
     void resetAll();
 

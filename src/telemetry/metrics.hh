@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * fixed-log-scale-bin histograms shared by every subsystem
+ * (ThreadPool, DSE, cycle sim, thermal solver, cluster sweeps).
+ *
+ * All mutation paths are lock-free atomics, so instrumented code may
+ * update metrics from any thread. Counters and histogram bins are
+ * integers updated with commutative adds, which keeps the dumped
+ * values deterministic regardless of thread interleaving; gauges are
+ * last-write-wins. Registration (the name -> metric lookup) takes a
+ * mutex — hot paths should cache the returned reference:
+ *
+ *   static telemetry::Counter &evals =
+ *       telemetry::counter("node.evaluations", "configs evaluated");
+ *   evals.add();
+ *
+ * Dumps: writeMetricsCsv() ("name,type,value" rows) and
+ * writeMetricsJson(); ENA_METRICS=<file> makes flush() write one of
+ * them at process exit (see telemetry/telemetry.hh).
+ */
+
+#ifndef ENA_TELEMETRY_METRICS_HH
+#define ENA_TELEMETRY_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ena {
+namespace telemetry {
+
+/** Monotonically increasing integer (events, bytes, tasks...). */
+class Counter
+{
+  public:
+    explicit Counter(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {
+    }
+
+    void
+    add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (thread count, rate...). */
+class Gauge
+{
+  public:
+    explicit Gauge(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {
+    }
+
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Histogram with fixed log-scale bins: bin i covers
+ * [lo * base^i, lo * base^(i+1)). Samples below lo count as underflow,
+ * samples at or above the last boundary as overflow. Bin boundaries
+ * are precomputed once and bin selection is a binary search over them,
+ * so exact-boundary samples land deterministically in the upper bin
+ * (no pow/log rounding surprises — unit-tested in test_metrics.cc).
+ */
+class Histogram
+{
+  public:
+    Histogram(std::string name, std::string desc, double lo, double base,
+              int bins);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    /** Bin index for @p v: -1 underflow, bins() overflow. */
+    int binFor(double v) const;
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t binCount(int i) const
+    {
+        return counts_[static_cast<size_t>(i)].load(
+            std::memory_order_relaxed);
+    }
+    std::uint64_t underflow() const
+    {
+        return underflow_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t overflow() const
+    {
+        return overflow_.load(std::memory_order_relaxed);
+    }
+
+    /** Smallest / largest sample seen; 0 with no samples. */
+    double min() const;
+    double max() const;
+
+    int bins() const { return static_cast<int>(counts_.size()); }
+    double binLo(int i) const { return bounds_[static_cast<size_t>(i)]; }
+    double binHi(int i) const
+    {
+        return bounds_[static_cast<size_t>(i) + 1];
+    }
+
+    void reset();
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::vector<double> bounds_;   ///< bins()+1 boundaries
+    std::vector<std::atomic<std::uint64_t>> counts_;
+    std::atomic<std::uint64_t> underflow_{0};
+    std::atomic<std::uint64_t> overflow_{0};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> min_{0.0};
+    std::atomic<double> max_{0.0};
+};
+
+/**
+ * Find-or-create by name. References stay valid for the process
+ * lifetime. desc/shape parameters apply only on first creation;
+ * re-registering an existing name returns the existing metric.
+ */
+Counter &counter(const std::string &name, const std::string &desc = "");
+Gauge &gauge(const std::string &name, const std::string &desc = "");
+Histogram &histogram(const std::string &name,
+                     const std::string &desc = "", double lo = 1.0,
+                     double base = 2.0, int bins = 32);
+
+/**
+ * CSV dump, sorted by name: header "name,type,value", then one row per
+ * counter/gauge and per-histogram rows for count, underflow/overflow,
+ * and each non-empty bin (type "histogram_bin[lo,hi)").
+ */
+void writeMetricsCsv(std::ostream &os);
+
+/** JSON dump: {"counters":{...},"gauges":{...},"histograms":{...}}. */
+void writeMetricsJson(std::ostream &os);
+
+/** Reset every registered metric to zero (tests/benches). */
+void resetMetrics();
+
+} // namespace telemetry
+} // namespace ena
+
+#endif // ENA_TELEMETRY_METRICS_HH

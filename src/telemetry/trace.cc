@@ -1,0 +1,277 @@
+#include "telemetry/telemetry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iomanip>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace ena {
+namespace telemetry {
+
+namespace detail {
+
+// Zero-initialized (constant initialization), so instrumented code in
+// other translation units can safely check the flags during their own
+// dynamic initialization.
+std::atomic<bool> tracingOn{false};
+std::atomic<bool> metricsOn{false};
+
+} // namespace detail
+
+namespace {
+
+struct TraceEvent
+{
+    char ph = 'X';          ///< X=span, i=instant, C=counter, M=metadata
+    const char *cat = "";
+    std::string name;
+    double tsUs = 0.0;
+    double durUs = 0.0;     ///< spans only
+    double value = 0.0;     ///< counter events only
+};
+
+/**
+ * Per-thread event buffer. Owned by the global TraceState (never
+ * freed) so events survive their thread's exit; the per-buffer mutex
+ * makes the owning thread's appends safe against a concurrent flush.
+ */
+struct ThreadBuffer
+{
+    std::mutex m;
+    std::vector<TraceEvent> events;
+    int tid = 0;
+
+    void
+    push(TraceEvent ev)
+    {
+        std::lock_guard<std::mutex> lk(m);
+        events.push_back(std::move(ev));
+    }
+};
+
+struct TraceState
+{
+    std::mutex m;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+    int nextTid = 0;
+};
+
+TraceState &
+traceState()
+{
+    static TraceState *state = new TraceState();   // leaked on purpose
+    return *state;
+}
+
+thread_local ThreadBuffer *tl_buffer = nullptr;
+
+ThreadBuffer &
+buffer()
+{
+    if (!tl_buffer) {
+        TraceState &s = traceState();
+        std::lock_guard<std::mutex> lk(s.m);
+        s.buffers.push_back(std::make_unique<ThreadBuffer>());
+        tl_buffer = s.buffers.back().get();
+        tl_buffer->tid = s.nextTid++;
+    }
+    return *tl_buffer;
+}
+
+std::chrono::steady_clock::time_point
+processStart()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
+// Touch the clock during static initialization so "process start" is
+// as early as link order allows, not the first instrumented call.
+[[maybe_unused]] const auto force_clock_init = processStart();
+
+/**
+ * Reads ENA_TRACE / ENA_METRICS during static initialization. Lives in
+ * this translation unit — not telemetry.cc — on purpose: every
+ * instrumented object file references the enable-flag atomics defined
+ * here, so the linker always pulls this member out of the static
+ * archive (telemetry.cc alone could be dropped, and the env vars would
+ * be silently ignored). The flags are constant-initialized, so other
+ * translation units see a consistent value regardless of initializer
+ * order.
+ */
+struct EnvInit
+{
+    EnvInit() { detail::initFromEnvironment(); }
+};
+
+[[maybe_unused]] const EnvInit env_init;
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+
+namespace detail {
+
+void
+recordSpan(const char *cat, std::string name, double begin_us,
+           double end_us)
+{
+    TraceEvent ev;
+    ev.ph = 'X';
+    ev.cat = cat;
+    ev.name = std::move(name);
+    ev.tsUs = begin_us;
+    ev.durUs = end_us - begin_us;
+    buffer().push(std::move(ev));
+}
+
+} // namespace detail
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - processStart())
+        .count();
+}
+
+void
+setThreadName(const std::string &name)
+{
+    // Chrome metadata events are timeless; record unconditionally so a
+    // later enableTracing() still gets the thread labels.
+    TraceEvent ev;
+    ev.ph = 'M';
+    ev.cat = "__metadata";
+    ev.name = name;
+    buffer().push(std::move(ev));
+}
+
+void
+instant(const char *cat, std::string name)
+{
+    if (!tracingEnabled())
+        return;
+    TraceEvent ev;
+    ev.ph = 'i';
+    ev.cat = cat;
+    ev.name = std::move(name);
+    ev.tsUs = nowUs();
+    buffer().push(std::move(ev));
+}
+
+void
+traceCounter(const char *cat, std::string name, double value)
+{
+    if (!tracingEnabled())
+        return;
+    TraceEvent ev;
+    ev.ph = 'C';
+    ev.cat = cat;
+    ev.name = std::move(name);
+    ev.tsUs = nowUs();
+    ev.value = value;
+    buffer().push(std::move(ev));
+}
+
+void
+writeTrace(std::ostream &os)
+{
+    // Snapshot every buffer under its lock, then serialize without
+    // holding any telemetry lock.
+    struct Snap
+    {
+        int tid;
+        TraceEvent ev;
+    };
+    std::vector<Snap> all;
+    {
+        TraceState &s = traceState();
+        std::lock_guard<std::mutex> lk(s.m);
+        for (auto &buf : s.buffers) {
+            std::lock_guard<std::mutex> blk(buf->m);
+            for (const TraceEvent &ev : buf->events)
+                all.push_back({buf->tid, ev});
+        }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Snap &a, const Snap &b) {
+                         return a.ev.tsUs < b.ev.tsUs;
+                     });
+
+    // Fixed-point microseconds: the default 6-significant-digit float
+    // formatting would round timestamps in runs longer than ~10 s.
+    os << std::fixed << std::setprecision(3);
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const Snap &s : all) {
+        const TraceEvent &ev = s.ev;
+        os << (first ? "\n" : ",\n");
+        first = false;
+        if (ev.ph == 'M') {
+            // Thread-name metadata: the label travels in args.
+            os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               << "\"tid\":" << s.tid << ",\"args\":{\"name\":\"";
+            jsonEscape(os, ev.name);
+            os << "\"}}";
+            continue;
+        }
+        os << "{\"name\":\"";
+        jsonEscape(os, ev.name);
+        os << "\",\"cat\":\"";
+        jsonEscape(os, ev.cat);
+        os << "\",\"ph\":\"" << ev.ph << "\",\"ts\":" << ev.tsUs
+           << ",\"pid\":1,\"tid\":" << s.tid;
+        if (ev.ph == 'X')
+            os << ",\"dur\":" << ev.durUs;
+        else if (ev.ph == 'i')
+            os << ",\"s\":\"t\"";
+        else if (ev.ph == 'C')
+            os << ",\"args\":{\"value\":" << ev.value << "}";
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+void
+reset()
+{
+    {
+        TraceState &s = traceState();
+        std::lock_guard<std::mutex> lk(s.m);
+        for (auto &buf : s.buffers) {
+            std::lock_guard<std::mutex> blk(buf->m);
+            buf->events.clear();
+        }
+    }
+    resetMetrics();
+}
+
+} // namespace telemetry
+} // namespace ena

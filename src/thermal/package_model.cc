@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 
@@ -108,9 +110,19 @@ PackageThermalResult
 EhpPackageModel::solve(const NodeConfig &cfg,
                        const PowerBreakdown &power) const
 {
+    ENA_SPAN("thermal", "solve_package");
     ThermalGrid grid = buildGrid(cfg, power);
     PackageThermalResult r;
     r.solverIterations = grid.solve();
+
+    static telemetry::Counter &iters = telemetry::counter(
+        "thermal.solver_iterations",
+        "SOR iterations summed over all package thermal solves");
+    iters.add(static_cast<std::uint64_t>(r.solverIterations));
+    static telemetry::Histogram &iters_hist = telemetry::histogram(
+        "thermal.solver_iterations_per_solve",
+        "SOR iterations needed by one package solve", 1.0, 2.0, 20);
+    iters_hist.sample(static_cast<double>(r.solverIterations));
 
     r.peakBottomDramC = grid.peak("dram0");
     r.peakGpuC = grid.peak("gpu");

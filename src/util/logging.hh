@@ -12,6 +12,7 @@
 #define ENA_UTIL_LOGGING_HH
 
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -25,6 +26,19 @@ LogLevel logLevel();
 
 /** Set the global log level (affects inform/warn/debug output). */
 void setLogLevel(LogLevel level);
+
+/**
+ * Receiver of every emitted log line (prefix included, no trailing
+ * newline). Invoked under the logger's single sink lock, so calls are
+ * serialized even when ThreadPool workers log concurrently.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Replace the default stdout/stderr sink; an empty function restores
+ * it. Used by tests and by embedders that redirect simulator output.
+ */
+void setLogSink(LogSink sink);
 
 namespace detail {
 

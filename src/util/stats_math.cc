@@ -44,6 +44,22 @@ stdev(const std::vector<double> &xs)
     return std::sqrt(s / static_cast<double>(xs.size() - 1));
 }
 
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        ENA_FATAL("percentile of empty vector");
+    if (p < 0.0 || p > 100.0)
+        ENA_FATAL("percentile needs p in [0, 100], got ", p);
+    std::sort(xs.begin(), xs.end());
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    if (lo + 1 >= xs.size())
+        return xs.back();
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
 std::vector<double>
 linspace(double lo, double hi, size_t n)
 {

@@ -22,6 +22,14 @@ double geomean(const std::vector<double> &xs);
 /** Sample standard deviation (n-1); zero for fewer than two samples. */
 double stdev(const std::vector<double> &xs);
 
+/**
+ * The @p p-th percentile (0..100) by linear interpolation between
+ * order statistics: rank = p/100 * (n-1). A one-element input returns
+ * that element for any p; fatal() on empty input or p outside
+ * [0, 100].
+ */
+double percentile(std::vector<double> xs, double p);
+
 /** @p n evenly spaced points from @p lo to @p hi inclusive (n >= 2). */
 std::vector<double> linspace(double lo, double hi, size_t n);
 

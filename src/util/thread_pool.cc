@@ -4,11 +4,22 @@
 #include <cstdlib>
 #include <string>
 
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace ena {
 
 namespace {
+
+telemetry::Counter &
+busyUsCounter()
+{
+    static telemetry::Counter &c = telemetry::counter(
+        "threadpool.busy_us",
+        "microseconds all threads spent executing parallelFor chunks");
+    return c;
+}
 
 /**
  * Set while the current thread is executing chunks of a job (worker or
@@ -27,7 +38,10 @@ ThreadPool::ThreadPool(int threads)
 {
     workers_.reserve(numThreads_ - 1);
     for (int i = 0; i < numThreads_ - 1; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
+    telemetry::gauge("threadpool.threads",
+                     "threads participating in pool jobs (incl. caller)")
+        .set(numThreads_);
 }
 
 ThreadPool::~ThreadPool()
@@ -77,20 +91,37 @@ ThreadPool::setGlobalThreads(int n)
     global_pool = new ThreadPool(n);
 }
 
+std::size_t
+ThreadPool::queuedTasks() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    if (!job_)
+        return 0;
+    std::size_t next = job_->next.load(std::memory_order_relaxed);
+    return next >= job_->n ? 0 : job_->n - next;
+}
+
 void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &fn)
 {
     if (n == 0)
         return;
+    jobsSubmitted_.fetch_add(1, std::memory_order_relaxed);
     if (numThreads_ <= 1 || n == 1 || in_task) {
+        ENA_SPAN("threadpool", "parallel_for_inline");
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
+        tasksExecuted_.fetch_add(n, std::memory_order_relaxed);
         return;
     }
 
     // One top-level job at a time per pool.
     std::lock_guard<std::mutex> submit(submitMutex_);
+
+    ENA_SPAN("threadpool", "parallel_for");
+    telemetry::traceCounter("threadpool", "queued_tasks",
+                            static_cast<double>(n));
 
     Job job;
     job.fn = &fn;
@@ -116,6 +147,7 @@ ThreadPool::parallelFor(std::size_t n,
         doneCv_.wait(lk, [&] { return activeWorkers_ == 0; });
         job_ = nullptr;
     }
+    telemetry::traceCounter("threadpool", "queued_tasks", 0.0);
     if (job.error)
         std::rethrow_exception(job.error);
 }
@@ -129,6 +161,13 @@ ThreadPool::runChunks(Job &job)
         if (begin >= job.n)
             return;
         std::size_t end = std::min(begin + job.chunk, job.n);
+        // Per-chunk telemetry: a span on this thread's trace track and
+        // the pool-wide busy-time counter. Both are write-only and
+        // gated on the enable flags, so the chunk claiming order and
+        // per-index results are untouched.
+        telemetry::ScopedSpan chunk_span("threadpool", "chunk");
+        const bool timed = telemetry::metricsEnabled();
+        const double t0 = timed ? telemetry::nowUs() : 0.0;
         try {
             for (std::size_t i = begin; i < end; ++i)
                 (*job.fn)(i);
@@ -139,12 +178,20 @@ ThreadPool::runChunks(Job &job)
             // Abandon unclaimed work; chunks already claimed finish.
             job.next.store(job.n, std::memory_order_relaxed);
         }
+        tasksExecuted_.fetch_add(end - begin,
+                                 std::memory_order_relaxed);
+        if (timed) {
+            busyUsCounter().add(static_cast<std::uint64_t>(
+                telemetry::nowUs() - t0));
+        }
     }
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int worker_index)
 {
+    telemetry::setThreadName("ena-worker-" +
+                             std::to_string(worker_index));
     std::uint64_t seen = 0;
     for (;;) {
         Job *job = nullptr;

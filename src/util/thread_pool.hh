@@ -53,6 +53,33 @@ class ThreadPool
     /** Total threads participating in a job (workers + caller). */
     int threads() const { return numThreads_; }
 
+    /** Alias of threads() for container-style introspection. */
+    int size() const { return numThreads_; }
+
+    /**
+     * Indices of the in-flight parallelFor job not yet claimed by any
+     * thread; 0 when the pool is idle. A point-in-time snapshot — by
+     * the time the caller looks at it the workers may have drained
+     * more — surfaced as the telemetry queue-depth signal.
+     */
+    std::size_t queuedTasks() const;
+
+    /**
+     * Total indices executed by parallelFor/parallelMap since
+     * construction, counting every path (pooled, serial fallback,
+     * nested-inline).
+     */
+    std::uint64_t tasksExecuted() const
+    {
+        return tasksExecuted_.load(std::memory_order_relaxed);
+    }
+
+    /** parallelFor calls since construction (any execution path). */
+    std::uint64_t jobsSubmitted() const
+    {
+        return jobsSubmitted_.load(std::memory_order_relaxed);
+    }
+
     /**
      * Run fn(i) for every i in [0, n), possibly concurrently. Blocks
      * until every index has been processed. The first exception thrown
@@ -129,14 +156,16 @@ class ThreadPool
         std::exception_ptr error;   ///< first failure; guarded by m_
     };
 
-    void workerLoop();
+    void workerLoop(int worker_index);
     void runChunks(Job &job);
 
     int numThreads_;
     std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> tasksExecuted_{0};
+    std::atomic<std::uint64_t> jobsSubmitted_{0};
 
     std::mutex submitMutex_;        ///< serializes top-level parallelFor
-    std::mutex m_;
+    mutable std::mutex m_;
     std::condition_variable workCv_;
     std::condition_variable doneCv_;
     Job *job_ = nullptr;

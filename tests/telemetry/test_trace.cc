@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the scoped-span tracer and the Chrome trace_event
+ * exporter. Tracing is enabled with an empty path, so events stay in
+ * memory and are inspected through writeTrace().
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/telemetry.hh"
+#include "util/thread_pool.hh"
+
+using namespace ena;
+
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        telemetry::reset();
+        telemetry::disableTracing();
+        telemetry::disableMetrics();
+    }
+
+    void
+    TearDown() override
+    {
+        telemetry::disableTracing();
+        telemetry::disableMetrics();
+        telemetry::reset();
+    }
+
+    static std::string
+    dump()
+    {
+        std::ostringstream os;
+        telemetry::writeTrace(os);
+        return os.str();
+    }
+
+    static std::size_t
+    countOccurrences(const std::string &haystack,
+                     const std::string &needle)
+    {
+        std::size_t n = 0;
+        for (std::size_t pos = haystack.find(needle);
+             pos != std::string::npos;
+             pos = haystack.find(needle, pos + needle.size()))
+            ++n;
+        return n;
+    }
+};
+
+} // anonymous namespace
+
+TEST_F(TraceTest, DisabledRecordsNothing)
+{
+    {
+        ENA_SPAN("test", "should_not_appear");
+    }
+    telemetry::instant("test", "also_not");
+    telemetry::traceCounter("test", "nor_this", 1.0);
+    EXPECT_EQ(dump().find("should_not_appear"), std::string::npos);
+    EXPECT_EQ(dump().find("also_not"), std::string::npos);
+    EXPECT_EQ(dump().find("nor_this"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpanRecordedAsCompleteEvent)
+{
+    telemetry::enableTracing();
+    {
+        ENA_SPAN("testcat", "my_span");
+    }
+    const std::string json = dump();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"my_span\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"testcat\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, InstantAndCounterEvents)
+{
+    telemetry::enableTracing();
+    telemetry::instant("testcat", "tick");
+    telemetry::traceCounter("testcat", "depth", 7.0);
+    const std::string json = dump();
+    EXPECT_NE(json.find("\"name\":\"tick\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"depth\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\":7.000"), std::string::npos);
+}
+
+TEST_F(TraceTest, JsonEscapesSpecialCharacters)
+{
+    telemetry::enableTracing();
+    telemetry::instant("testcat", "quote\"back\\slash\nnewline");
+    const std::string json = dump();
+    EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnewline"),
+              std::string::npos);
+}
+
+TEST_F(TraceTest, ResetClearsEvents)
+{
+    telemetry::enableTracing();
+    {
+        ENA_SPAN("testcat", "gone_after_reset");
+    }
+    telemetry::reset();
+    EXPECT_EQ(dump().find("gone_after_reset"), std::string::npos);
+}
+
+TEST_F(TraceTest, NowUsIsMonotonic)
+{
+    const double a = telemetry::nowUs();
+    const double b = telemetry::nowUs();
+    EXPECT_GE(b, a);
+    EXPECT_GE(a, 0.0);
+}
+
+TEST_F(TraceTest, MultithreadedSpansAllMerged)
+{
+    telemetry::enableTracing();
+    constexpr std::size_t kTasks = 64;
+    {
+        // Scoped so the destructor joins the workers: every thread has
+        // definitely registered its name and flushed its spans into the
+        // shared buffers before the dump below.
+        ThreadPool pool(4);
+        pool.parallelFor(kTasks, [](std::size_t) {
+            telemetry::ScopedSpan span("testcat", "worker_span");
+        });
+    }
+    const std::string json = dump();
+    EXPECT_EQ(countOccurrences(json, "\"worker_span\""), kTasks);
+    // Worker threads announce themselves via metadata events.
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("ena-worker-0"), std::string::npos);
+}
+
+TEST_F(TraceTest, EventsSortedByTimestamp)
+{
+    telemetry::enableTracing();
+    telemetry::instant("testcat", "first");
+    telemetry::instant("testcat", "second");
+    const std::string json = dump();
+    const std::size_t a = json.find("\"first\"");
+    const std::size_t b = json.find("\"second\"");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    EXPECT_LT(a, b);
+}
+
+TEST_F(TraceTest, TraceIsValidJsonShape)
+{
+    telemetry::enableTracing();
+    {
+        ENA_SPAN("testcat", "shape_check");
+    }
+    const std::string json = dump();
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    // writeTrace ends with a newline after the closing brace.
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    const std::size_t last_brace = json.find_last_of('}');
+    ASSERT_NE(last_brace, std::string::npos);
+    EXPECT_EQ(countOccurrences(json, "{"), countOccurrences(json, "}"));
+    EXPECT_EQ(countOccurrences(json, "["), countOccurrences(json, "]"));
+}

@@ -106,6 +106,51 @@ TEST(StatsMath, SummaryAccumulates)
     EXPECT_NEAR(s.stdev(), 1.29099, 1e-4);
 }
 
+TEST(StatsMathDeathTest, MeanRejectsEmpty)
+{
+    EXPECT_EXIT(mean({}), testing::ExitedWithCode(1), "empty");
+}
+
+TEST(StatsMathDeathTest, GeomeanRejectsEmpty)
+{
+    EXPECT_EXIT(geomean({}), testing::ExitedWithCode(1), "empty");
+}
+
+TEST(StatsMath, OneElementMeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({3.5}), 3.5);
+    EXPECT_DOUBLE_EQ(geomean({3.5}), 3.5);
+}
+
+TEST(StatsMath, PercentileInterpolates)
+{
+    // Unsorted on purpose: percentile sorts a copy.
+    std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 17.5);
+    // Caller's vector is untouched (taken by value).
+    EXPECT_DOUBLE_EQ(xs[0], 40.0);
+}
+
+TEST(StatsMath, PercentileSingleElement)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(StatsMathDeathTest, PercentileRejectsEmptyAndBadP)
+{
+    EXPECT_EXIT(percentile({}, 50.0), testing::ExitedWithCode(1),
+                "empty");
+    EXPECT_EXIT(percentile({1.0}, -0.5), testing::ExitedWithCode(1),
+                "0, 100");
+    EXPECT_EXIT(percentile({1.0}, 100.5), testing::ExitedWithCode(1),
+                "0, 100");
+}
+
 TEST(StatsMath, SummarySingleSample)
 {
     Summary s;

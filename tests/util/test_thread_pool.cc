@@ -142,6 +142,48 @@ TEST(ThreadPool, ThreadsReportsPoolSize)
     EXPECT_GE(ThreadPool().threads(), 1);
 }
 
+TEST(ThreadPool, SizeAliasesThreads)
+{
+    ThreadPool pool(5);
+    EXPECT_EQ(pool.size(), pool.threads());
+    EXPECT_EQ(pool.size(), 5);
+}
+
+TEST(ThreadPool, QueuedTasksIsZeroWhenIdle)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.queuedTasks(), 0u);
+    pool.parallelFor(100, [](std::size_t) {});
+    EXPECT_EQ(pool.queuedTasks(), 0u);   // drained after the job
+}
+
+TEST(ThreadPool, TasksExecutedCountsEveryIndex)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.tasksExecuted(), 0u);
+    EXPECT_EQ(pool.jobsSubmitted(), 0u);
+    pool.parallelFor(123, [](std::size_t) {});
+    EXPECT_EQ(pool.tasksExecuted(), 123u);
+    EXPECT_EQ(pool.jobsSubmitted(), 1u);
+    pool.parallelFor(0, [](std::size_t) {});   // no-op, not a job
+    pool.parallelFor(7, [](std::size_t) {});
+    EXPECT_EQ(pool.tasksExecuted(), 130u);
+    EXPECT_EQ(pool.jobsSubmitted(), 2u);
+}
+
+TEST(ThreadPool, TasksExecutedCountsSerialAndNestedPaths)
+{
+    ThreadPool serial(1);
+    serial.parallelFor(11, [](std::size_t) {});
+    EXPECT_EQ(serial.tasksExecuted(), 11u);
+
+    ThreadPool pool(4);
+    pool.parallelFor(4, [&](std::size_t) {
+        pool.parallelFor(3, [](std::size_t) {});   // nested -> inline
+    });
+    EXPECT_EQ(pool.tasksExecuted(), 4u + 4u * 3u);
+}
+
 TEST(ThreadPool, DefaultThreadsHonorsEnaThreadsEnv)
 {
     ASSERT_EQ(setenv("ENA_THREADS", "3", 1), 0);
