@@ -52,6 +52,32 @@ main()
     }
     bench::show(t, "ras_protection");
 
+    // ---- per-component FIT budget (NVM-bearing hybrid config) ---------
+    std::cout << "\nPer-component FIT budget, hybrid external memory "
+                 "(384 GB DRAM + 384 GB NVM):\n";
+    NodeConfig hybrid = cfg;
+    hybrid.ext = ExtMemConfig::hybrid();
+    FaultModel full({true, true, true, 2.0});
+    FitBreakdown raw = full.rawNodeFit(hybrid);
+    FitBreakdown prot = full.protectedNodeFit(hybrid);
+    TextTable b({"component", "raw FIT", "protected FIT"});
+    b.row().add("CPU logic").add(raw.cpuLogic, "%.0f").add(
+        prot.cpuLogic, "%.1f");
+    b.row().add("GPU logic").add(raw.gpuLogic, "%.0f").add(
+        prot.gpuLogic, "%.1f");
+    b.row().add("SRAM").add(raw.sram, "%.0f").add(prot.sram, "%.1f");
+    b.row().add("in-package DRAM").add(raw.hbm, "%.0f").add(prot.hbm,
+                                                            "%.1f");
+    b.row().add("external DRAM").add(raw.extDram, "%.0f").add(
+        prot.extDram, "%.1f");
+    b.row().add("external NVM").add(raw.nvm, "%.0f").add(prot.nvm,
+                                                         "%.1f");
+    b.row().add("interconnect").add(raw.interconnect, "%.0f").add(
+        prot.interconnect, "%.1f");
+    b.row().add("total").add(raw.total(), "%.0f").add(prot.total(),
+                                                      "%.1f");
+    bench::show(b, "ras_fit_components");
+
     // ---- RMT coverage/overhead per application ------------------------
     std::cout << "\nGPU RMT (opportunistic: duplicate into idle CUs):\n";
     RmtModel rmt;

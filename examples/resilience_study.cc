@@ -42,6 +42,8 @@ main(int argc, char **argv)
         prot.hbm, "%.1f");
     t.row().add("external DRAM").add(raw.extDram, "%.0f").add(
         prot.extDram, "%.1f");
+    t.row().add("external NVM").add(raw.nvm, "%.0f").add(prot.nvm,
+                                                         "%.1f");
     t.row().add("interconnect").add(raw.interconnect, "%.0f").add(
         prot.interconnect, "%.1f");
     t.row().add("total").add(raw.total(), "%.0f").add(prot.total(),

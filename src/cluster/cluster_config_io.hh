@@ -15,7 +15,9 @@
  *   cluster.torus_z
  *
  * Unknown "cluster." keys are rejected to catch typos; keys outside the
- * prefix are ignored (they belong to the node layers).
+ * prefix are ignored (they belong to the node layers), as are
+ * "cluster.ras." keys (the resiliency layer's; see
+ * resilient_cluster_io.hh).
  */
 
 #ifndef ENA_CLUSTER_CLUSTER_CONFIG_IO_HH
@@ -37,6 +39,10 @@ clusterConfigFromConfig(const Config &cfg)
         "cluster.torus_x", "cluster.torus_y", "cluster.torus_z",
     };
     for (const std::string &key : cfg.keysWithPrefix("cluster.")) {
+        // "cluster.ras." keys belong to the resiliency layer
+        // (resilient_cluster_io.hh) and are validated there.
+        if (key.rfind("cluster.ras.", 0) == 0)
+            continue;
         bool ok = false;
         for (const char *k : known)
             ok = ok || key == k;

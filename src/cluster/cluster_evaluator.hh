@@ -25,7 +25,7 @@ namespace ena {
 /** One (node config, app, comm spec) system evaluation. */
 struct ClusterResult
 {
-    App app;
+    App app = App::MaxFlops;
     CommSpec spec;
 
     EvalResult node;             ///< single-node perf and power

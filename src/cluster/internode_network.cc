@@ -146,8 +146,11 @@ InterNodeNetwork::buildDragonfly()
     neighborHops_ = 2.0;
 
     // Every group pair shares exactly one global link (a*h = g - 1), so
-    // a half/half split cuts (g/2)^2 of them.
-    bisectionGbs_ = (g / 2.0) * (g / 2.0) * cfg_.linkGbs;
+    // a half/half split cuts (g/2)^2 of them. Like the fat tree, the
+    // fabric is one plane per NIC port, so the cut scales with
+    // linksPerNode (the fat tree inherits this via injectionGbs()).
+    bisectionGbs_ =
+        (g / 2.0) * (g / 2.0) * cfg_.linkGbs * cfg_.linksPerNode;
 
     switches_ = static_cast<std::uint64_t>(a * g);
     const double local_links = g * a * (a - 1.0) / 2.0;
@@ -180,11 +183,15 @@ InterNodeNetwork::buildTorus()
     neighborHops_ = 1.0;
 
     // Cut perpendicular to the largest dimension (nx >= ny >= nz for
-    // auto dims): ny*nz links cross, twice with a wrap ring.
+    // auto dims): ny*nz links cross, twice with a wrap ring. Each of
+    // the node's linksPerNode NIC ports contributes its own plane of
+    // torus links, matching the per-plane accounting the fat tree
+    // bakes into injectionGbs().
     int dims[3] = {nx, ny, nz};
     std::sort(dims, dims + 3);
     const double cut = static_cast<double>(dims[0]) * dims[1];
-    bisectionGbs_ = (dims[2] > 2 ? 2.0 : 1.0) * cut * cfg_.linkGbs;
+    bisectionGbs_ = (dims[2] > 2 ? 2.0 : 1.0) * cut * cfg_.linkGbs *
+                    cfg_.linksPerNode;
 
     switches_ = static_cast<std::uint64_t>(n);
     auto dim_links = [n](int k) {

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Config-file bindings for ResilienceSpec, mirroring
+ * cluster_config_io.hh: the resiliency layer is described under the
+ * "cluster.ras." prefix, so one "key = value" file can hold the full
+ * fault-aware machine (ehp.* / extmem.* / opts.* for the node,
+ * cluster.* for the fabric, cluster.ras.* for protection and
+ * checkpointing) and be loaded by nodeConfigFromConfig,
+ * clusterConfigFromConfig, and resilienceSpecFromConfig side by side.
+ *
+ * Recognized keys (all optional; defaults = ResilienceSpec{}):
+ *
+ *   cluster.ras.faults_enabled, cluster.ras.dram_ecc,
+ *   cluster.ras.sram_ecc, cluster.ras.gpu_rmt,
+ *   cluster.ras.ntc_ser_multiplier,
+ *   cluster.ras.rmt_policy (off | opportunistic | full),
+ *   cluster.ras.checkpoint_bytes, cluster.ras.io_bandwidth_bps,
+ *   cluster.ras.checkpoint_overhead_s, cluster.ras.restart_extra_s,
+ *   cluster.ras.checkpoint_via_fabric
+ *
+ * Unknown "cluster.ras." keys are rejected to catch typos; keys
+ * outside the prefix are ignored (they belong to the other layers).
+ */
+
+#ifndef ENA_CLUSTER_RESILIENT_CLUSTER_IO_HH
+#define ENA_CLUSTER_RESILIENT_CLUSTER_IO_HH
+
+#include "cluster/resilient_cluster.hh"
+#include "util/config.hh"
+
+namespace ena {
+
+inline ResilienceSpec
+resilienceSpecFromConfig(const Config &cfg)
+{
+    static const char *known[] = {
+        "cluster.ras.faults_enabled",
+        "cluster.ras.dram_ecc",
+        "cluster.ras.sram_ecc",
+        "cluster.ras.gpu_rmt",
+        "cluster.ras.ntc_ser_multiplier",
+        "cluster.ras.rmt_policy",
+        "cluster.ras.checkpoint_bytes",
+        "cluster.ras.io_bandwidth_bps",
+        "cluster.ras.checkpoint_overhead_s",
+        "cluster.ras.restart_extra_s",
+        "cluster.ras.checkpoint_via_fabric",
+    };
+    for (const std::string &key : cfg.keysWithPrefix("cluster.ras.")) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            ENA_FATAL("unknown resilience-config key '", key, "'");
+    }
+
+    ResilienceSpec s;
+    s.faultsEnabled =
+        cfg.getBool("cluster.ras.faults_enabled", s.faultsEnabled);
+    s.ras.dramEcc = cfg.getBool("cluster.ras.dram_ecc", s.ras.dramEcc);
+    s.ras.sramEcc = cfg.getBool("cluster.ras.sram_ecc", s.ras.sramEcc);
+    s.ras.gpuRmt = cfg.getBool("cluster.ras.gpu_rmt", s.ras.gpuRmt);
+    s.ras.ntcSerMultiplier = cfg.getDouble(
+        "cluster.ras.ntc_ser_multiplier", s.ras.ntcSerMultiplier);
+    s.rmtPolicy = rmtPolicyFromName(cfg.getString(
+        "cluster.ras.rmt_policy", rmtPolicyName(s.rmtPolicy)));
+    s.checkpoint.checkpointBytes = cfg.getDouble(
+        "cluster.ras.checkpoint_bytes", s.checkpoint.checkpointBytes);
+    s.checkpoint.ioBandwidthBps = cfg.getDouble(
+        "cluster.ras.io_bandwidth_bps", s.checkpoint.ioBandwidthBps);
+    s.checkpoint.overheadS = cfg.getDouble(
+        "cluster.ras.checkpoint_overhead_s", s.checkpoint.overheadS);
+    s.checkpoint.restartExtraS = cfg.getDouble(
+        "cluster.ras.restart_extra_s", s.checkpoint.restartExtraS);
+    s.checkpointViaFabric = cfg.getBool(
+        "cluster.ras.checkpoint_via_fabric", s.checkpointViaFabric);
+
+    s.validate();
+    return s;
+}
+
+/** Serialize a ResilienceSpec back into a Config ("cluster.ras."). */
+inline Config
+resilienceSpecToConfig(const ResilienceSpec &s)
+{
+    Config cfg;
+    cfg.set("cluster.ras.faults_enabled", s.faultsEnabled);
+    cfg.set("cluster.ras.dram_ecc", s.ras.dramEcc);
+    cfg.set("cluster.ras.sram_ecc", s.ras.sramEcc);
+    cfg.set("cluster.ras.gpu_rmt", s.ras.gpuRmt);
+    cfg.set("cluster.ras.ntc_ser_multiplier", s.ras.ntcSerMultiplier);
+    cfg.set("cluster.ras.rmt_policy", rmtPolicyName(s.rmtPolicy));
+    cfg.set("cluster.ras.checkpoint_bytes", s.checkpoint.checkpointBytes);
+    cfg.set("cluster.ras.io_bandwidth_bps", s.checkpoint.ioBandwidthBps);
+    cfg.set("cluster.ras.checkpoint_overhead_s", s.checkpoint.overheadS);
+    cfg.set("cluster.ras.restart_extra_s", s.checkpoint.restartExtraS);
+    cfg.set("cluster.ras.checkpoint_via_fabric", s.checkpointViaFabric);
+    return cfg;
+}
+
+} // namespace ena
+
+#endif // ENA_CLUSTER_RESILIENT_CLUSTER_IO_HH

@@ -24,8 +24,17 @@ CheckpointModel::plan(double system_mttf_hours) const
         params_.overheadS;
     double mttf_s = system_mttf_hours * 3600.0;
     p.intervalS = std::sqrt(2.0 * p.checkpointCostS * mttf_s);
+    // Young's optimum assumes delta << MTTF; once tau crosses the MTTF
+    // the machine expects a failure before its first checkpoint, so
+    // clamp the interval to the MTTF and flag the plan as degenerate
+    // rather than silently reporting a near-zero-efficiency optimum.
+    if (p.intervalS > mttf_s) {
+        p.intervalS = mttf_s;
+        p.mttfLimited = true;
+    }
     p.efficiency = efficiencyAt(p.intervalS, system_mttf_hours);
-    p.checkpointsPerDay = 86400.0 / p.intervalS;
+    // A cycle is work plus the checkpoint it ends on, not work alone.
+    p.checkpointsPerDay = 86400.0 / (p.intervalS + p.checkpointCostS);
     return p;
 }
 

@@ -32,7 +32,16 @@ struct CheckpointPlan
     double checkpointCostS = 0.0;   ///< delta: one checkpoint's cost
     double intervalS = 0.0;         ///< Young/Daly optimal tau
     double efficiency = 0.0;        ///< useful-work fraction (0..1)
-    double checkpointsPerDay = 0.0;
+    double checkpointsPerDay = 0.0; ///< full work+checkpoint cycles
+    /**
+     * True when Young's first-order optimum tau = sqrt(2*delta*M)
+     * exceeded the system MTTF itself (tiny-MTTF regime: the
+     * approximation's delta << M premise is broken). The interval is
+     * clamped to the MTTF and the plan should be read as "this machine
+     * cannot make checkpoint/restart progress", not as a usable
+     * operating point.
+     */
+    bool mttfLimited = false;
 };
 
 class CheckpointModel

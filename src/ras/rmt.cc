@@ -4,8 +4,48 @@
 
 #include "util/logging.hh"
 #include "util/stats_math.hh"
+#include "util/string_utils.hh"
 
 namespace ena {
+
+std::string
+rmtPolicyName(RmtPolicy p)
+{
+    switch (p) {
+      case RmtPolicy::Off:
+        return "off";
+      case RmtPolicy::Opportunistic:
+        return "opportunistic";
+      case RmtPolicy::Full:
+        return "full";
+    }
+    ENA_FATAL("unknown RmtPolicy ", static_cast<int>(p));
+}
+
+RmtPolicy
+rmtPolicyFromName(const std::string &name)
+{
+    std::string n = toLower(name);
+    for (RmtPolicy p : allRmtPolicies()) {
+        if (n == rmtPolicyName(p))
+            return p;
+    }
+    if (n == "none" || n == "disabled")
+        return RmtPolicy::Off;
+    ENA_FATAL("unknown RMT policy '", name,
+              "' (want off, opportunistic, or full)");
+}
+
+const std::vector<RmtPolicy> &
+allRmtPolicies()
+{
+    static const std::vector<RmtPolicy> all = {
+        RmtPolicy::Off,
+        RmtPolicy::Opportunistic,
+        RmtPolicy::Full,
+    };
+    return all;
+}
 
 RmtModel::RmtModel(double compare_overhead)
     : compareOverhead_(compare_overhead)

@@ -20,6 +20,9 @@
 #ifndef ENA_RAS_RMT_HH
 #define ENA_RAS_RMT_HH
 
+#include <string>
+#include <vector>
+
 #include "common/activity.hh"
 
 namespace ena {
@@ -34,6 +37,15 @@ enum class RmtPolicy
     /** Always duplicate everything; performance pays when busy. */
     Full,
 };
+
+/** Display name ("off" / "opportunistic" / "full"). */
+std::string rmtPolicyName(RmtPolicy p);
+
+/** Parse a policy name (case-insensitive); fatal() on unknown. */
+RmtPolicy rmtPolicyFromName(const std::string &name);
+
+/** All policies, in enum order. */
+const std::vector<RmtPolicy> &allRmtPolicies();
 
 struct RmtOutcome
 {

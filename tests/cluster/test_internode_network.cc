@@ -161,6 +161,53 @@ TEST(InterNodeNetwork, DeliveredBandwidthByPattern)
     }
 }
 
+TEST(InterNodeNetwork, BisectionCountsEveryLinkPlane)
+{
+    // Regression: the dragonfly and torus closed forms dropped the
+    // linksPerNode factor, so their bisection (and hence AllToAll
+    // delivered bandwidth) was silently 1/linksPerNode of the fat
+    // tree's accounting, which bakes the planes in via injectionGbs().
+    // All three fabrics must scale bisection linearly in the NIC port
+    // count.
+    for (ClusterTopology t : allClusterTopologies()) {
+        ClusterConfig c;
+        c.nodes = 1000;
+        c.topology = t;
+        c.linksPerNode = 1;
+        InterNodeNetwork one(c);
+        c.linksPerNode = 4;
+        InterNodeNetwork four(c);
+        EXPECT_DOUBLE_EQ(four.bisectionGbs(), 4.0 * one.bisectionGbs())
+            << clusterTopologyName(t);
+        EXPECT_DOUBLE_EQ(four.injectionGbs(), 4.0 * one.injectionGbs())
+            << clusterTopologyName(t);
+    }
+}
+
+TEST(InterNodeNetwork, AllToAllDeliveredBandwidthPinned)
+{
+    // Exact post-fix AllToAll delivered rates at n = 1000 with the
+    // default NIC (4 x 25 GB/s). delivered = min(injection,
+    // 2 * bisection / n):
+    //   fat tree (radix 16, taper 1): bisection 50,000 -> 100 GB/s
+    //   dragonfly (a = 8, g = 33): (33/2)^2 * 25 * 4 = 27,225
+    //     -> 54.45 GB/s
+    //   torus (10 x 10 x 10): 2 * 100 * 25 * 4 = 20,000 -> 40 GB/s
+    // The pre-fix dragonfly/torus math (no linksPerNode factor) gave
+    // 13.6125 and 10 GB/s.
+    ClusterConfig c;
+    c.nodes = 1000;
+    c.topology = ClusterTopology::FatTree;
+    EXPECT_DOUBLE_EQ(
+        InterNodeNetwork(c).deliveredGbs(CommPattern::AllToAll), 100.0);
+    c.topology = ClusterTopology::Dragonfly;
+    EXPECT_DOUBLE_EQ(
+        InterNodeNetwork(c).deliveredGbs(CommPattern::AllToAll), 54.45);
+    c.topology = ClusterTopology::Torus3D;
+    EXPECT_DOUBLE_EQ(
+        InterNodeNetwork(c).deliveredGbs(CommPattern::AllToAll), 40.0);
+}
+
 TEST(InterNodeNetwork, LatencyScalesWithHops)
 {
     ClusterConfig c;

@@ -61,6 +61,48 @@ TEST(Checkpoint, EfficiencyInUnitRange)
     }
 }
 
+TEST(Checkpoint, CheckpointsPerDayCountsFullCycles)
+{
+    // Regression: checkpointsPerDay divided the day by the work
+    // interval alone, but a cycle is work *plus* the checkpoint it
+    // ends on.
+    CheckpointParams p;
+    p.checkpointBytes = 100e9;
+    p.ioBandwidthBps = 10e9;
+    p.overheadS = 5.0;   // delta = 15 s
+    CheckpointModel model(p);
+    CheckpointPlan plan = model.plan(10.0);
+    EXPECT_NEAR(plan.checkpointsPerDay,
+                86400.0 / (plan.intervalS + plan.checkpointCostS), 1e-9);
+    // Pre-fix value 86400 / interval is strictly larger.
+    EXPECT_LT(plan.checkpointsPerDay, 86400.0 / plan.intervalS);
+}
+
+TEST(Checkpoint, TinyMttfClampsYoungInterval)
+{
+    // Young's tau = sqrt(2 * delta * M) exceeds M once M < 2 * delta:
+    // the machine expects to fail before its first checkpoint. The
+    // plan must clamp the interval to the MTTF and flag itself.
+    CheckpointParams p;
+    p.checkpointBytes = 100e9;
+    p.ioBandwidthBps = 10e9;
+    p.overheadS = 5.0;   // delta = 15 s; degenerate below 30 s MTTF
+    CheckpointModel model(p);
+
+    double mttf_h = 20.0 / 3600.0;   // 20 s MTTF < 2 * delta
+    CheckpointPlan plan = model.plan(mttf_h);
+    EXPECT_TRUE(plan.mttfLimited);
+    EXPECT_DOUBLE_EQ(plan.intervalS, 20.0);
+    EXPECT_GE(plan.efficiency, 0.0);
+    EXPECT_LT(plan.efficiency, 1.0);
+
+    // A healthy MTTF stays un-flagged with the unclamped optimum.
+    CheckpointPlan healthy = model.plan(10.0);
+    EXPECT_FALSE(healthy.mttfLimited);
+    EXPECT_NEAR(healthy.intervalS,
+                std::sqrt(2.0 * 15.0 * 36000.0), 1e-6);
+}
+
 TEST(CheckpointDeathTest, BadInputsPanic)
 {
     CheckpointModel model;

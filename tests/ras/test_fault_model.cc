@@ -86,6 +86,58 @@ TEST(FaultModel, ProtectionReducesSilentFraction)
     EXPECT_LE(full.silentFit(cfg), full.protectedNodeFit(cfg).total());
 }
 
+TEST(FaultModel, NtcMultiplierTouchesOnlyVoltageScaledParts)
+{
+    // The NTC SER multiplier models low-voltage charge-collection
+    // sensitivity: it applies to logic, SRAM, and the interconnect,
+    // while the DRAM families (HBM, external DRAM, NVM) keep their own
+    // SER regardless of the compute voltage domain.
+    FaultModel fm({false, false, false, 3.0});
+    NodeConfig base = NodeConfig::bestMean();
+    base.ext = ExtMemConfig::hybrid();   // nonzero NVM FIT
+    NodeConfig ntc = base;
+    ntc.opts.ntc = true;
+    FitBreakdown b = fm.rawNodeFit(base);
+    FitBreakdown n = fm.rawNodeFit(ntc);
+    EXPECT_NEAR(n.cpuLogic / b.cpuLogic, 3.0, 1e-9);
+    EXPECT_NEAR(n.gpuLogic / b.gpuLogic, 3.0, 1e-9);
+    EXPECT_NEAR(n.sram / b.sram, 3.0, 1e-9);
+    EXPECT_NEAR(n.interconnect / b.interconnect, 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(n.hbm, b.hbm);
+    EXPECT_DOUBLE_EQ(n.extDram, b.extDram);
+    EXPECT_DOUBLE_EQ(n.nvm, b.nvm);
+}
+
+TEST(FaultModel, SilentFractionInUnitRangeForAllVariants)
+{
+    NodeConfig cfg = NodeConfig::bestMean();
+    cfg.ext = ExtMemConfig::hybrid();
+    for (bool dram_ecc : {false, true}) {
+        for (bool sram_ecc : {false, true}) {
+            for (bool rmt : {false, true}) {
+                FaultModel fm({dram_ecc, sram_ecc, rmt, 2.0});
+                double s = fm.silentFraction(cfg);
+                EXPECT_GE(s, 0.0)
+                    << dram_ecc << sram_ecc << rmt;
+                EXPECT_LE(s, 1.0)
+                    << dram_ecc << sram_ecc << rmt;
+            }
+        }
+    }
+}
+
+TEST(FaultModel, SystemMttfScalesInverselyWithNodeCount)
+{
+    FaultModel fm({true, true, true, 2.0});
+    NodeConfig cfg = NodeConfig::bestMean();
+    double node_mttf = fm.nodeMttfHours(cfg);
+    for (int n : {1, 10, 1000, 27000, 100000}) {
+        EXPECT_NEAR(fm.systemMttfHours(cfg, n), node_mttf / n,
+                    node_mttf / n * 1e-12)
+            << n << " nodes";
+    }
+}
+
 TEST(FaultModel, SystemMttfAtScaleIsHoursNotYears)
 {
     // The core exascale RAS challenge: a fine per-node MTTF becomes

@@ -96,3 +96,17 @@ TEST(RmtDeathTest, BadOverheadPanics)
 {
     EXPECT_DEATH(RmtModel(1.5), "overhead");
 }
+
+TEST(Rmt, PolicyNamesRoundTrip)
+{
+    for (RmtPolicy p : allRmtPolicies())
+        EXPECT_EQ(rmtPolicyFromName(rmtPolicyName(p)), p);
+    EXPECT_EQ(rmtPolicyFromName("none"), RmtPolicy::Off);
+    EXPECT_EQ(rmtPolicyFromName("disabled"), RmtPolicy::Off);
+    EXPECT_EQ(rmtPolicyFromName("OPPORTUNISTIC"), RmtPolicy::Opportunistic);
+}
+
+TEST(RmtDeathTest, UnknownPolicyNamePanics)
+{
+    EXPECT_DEATH(rmtPolicyFromName("triple"), "policy");
+}
