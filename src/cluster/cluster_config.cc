@@ -18,8 +18,8 @@ clusterTopologyName(ClusterTopology t)
     ENA_FATAL("unknown ClusterTopology ", static_cast<int>(t));
 }
 
-ClusterTopology
-clusterTopologyFromName(const std::string &name)
+Expected<ClusterTopology>
+tryClusterTopologyFromName(const std::string &name)
 {
     std::string n = toLower(name);
     for (ClusterTopology t : allClusterTopologies()) {
@@ -31,8 +31,15 @@ clusterTopologyFromName(const std::string &name)
         return ClusterTopology::FatTree;
     if (n == "torus" || n == "torus3d" || n == "3d_torus")
         return ClusterTopology::Torus3D;
-    ENA_FATAL("unknown cluster topology '", name,
-              "' (want fat-tree, dragonfly, or 3d-torus)");
+    return Status::invalidArgument(
+        "unknown cluster topology '", name,
+        "' (want fat-tree, dragonfly, or 3d-torus)");
+}
+
+ClusterTopology
+clusterTopologyFromName(const std::string &name)
+{
+    return unwrapOrFatal(tryClusterTopologyFromName(name));
 }
 
 const std::vector<ClusterTopology> &

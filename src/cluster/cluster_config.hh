@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/status.hh"
 #include "util/string_utils.hh"
 
 namespace ena {
@@ -31,6 +32,10 @@ enum class ClusterTopology
 
 /** Display name ("fat-tree" / "dragonfly" / "3d-torus"). */
 std::string clusterTopologyName(ClusterTopology t);
+
+/** Parse a topology name (case-insensitive). */
+Expected<ClusterTopology> tryClusterTopologyFromName(
+    const std::string &name);
 
 /** Parse a topology name (case-insensitive); fatal() on unknown. */
 ClusterTopology clusterTopologyFromName(const std::string &name);
@@ -62,34 +67,52 @@ struct ClusterConfig
     /** Per-node injection bandwidth into the fabric (GB/s). */
     double injectionGbs() const { return linksPerNode * linkGbs; }
 
-    /** Sanity-check ranges; fatal() on nonsense. */
-    void
-    validate() const
+    /** Sanity-check ranges; the error names the offending knob. */
+    Status
+    tryValidate() const
     {
-        if (nodes <= 0 || nodes > 100000000)
-            ENA_FATAL("ClusterConfig: bad node count ", nodes);
-        if (linksPerNode <= 0 || linksPerNode > 1024)
-            ENA_FATAL("ClusterConfig: bad links-per-node ", linksPerNode);
-        if (linkGbs <= 0.0 || linkGbs > 10000.0)
-            ENA_FATAL("ClusterConfig: bad link bandwidth ", linkGbs,
-                      " GB/s");
-        if (linkLatencyUs <= 0.0 || linkLatencyUs > 1000.0)
-            ENA_FATAL("ClusterConfig: bad link latency ", linkLatencyUs,
-                      " us");
-        if (pjPerBit < 0.0 || pjPerBit > 1000.0)
-            ENA_FATAL("ClusterConfig: bad link energy ", pjPerBit,
-                      " pJ/bit");
-        if (fatTreeRadix < 0 || (fatTreeRadix > 0 && fatTreeRadix < 4))
-            ENA_FATAL("ClusterConfig: bad fat-tree radix ", fatTreeRadix);
-        if (fatTreeTaper < 1.0)
-            ENA_FATAL("ClusterConfig: fat-tree taper must be >= 1, got ",
-                      fatTreeTaper);
-        if (dragonflyGroupRouters < 0)
-            ENA_FATAL("ClusterConfig: bad dragonfly group size ",
-                      dragonflyGroupRouters);
+        if (nodes <= 0 || nodes > 100000000) {
+            return Status::outOfRange("ClusterConfig: bad node count ",
+                                      nodes);
+        }
+        if (linksPerNode <= 0 || linksPerNode > 1024) {
+            return Status::outOfRange(
+                "ClusterConfig: bad links-per-node ", linksPerNode);
+        }
+        if (linkGbs <= 0.0 || linkGbs > 10000.0) {
+            return Status::outOfRange("ClusterConfig: bad link "
+                                      "bandwidth ", linkGbs, " GB/s");
+        }
+        if (linkLatencyUs <= 0.0 || linkLatencyUs > 1000.0) {
+            return Status::outOfRange("ClusterConfig: bad link latency ",
+                                      linkLatencyUs, " us");
+        }
+        if (pjPerBit < 0.0 || pjPerBit > 1000.0) {
+            return Status::outOfRange("ClusterConfig: bad link energy ",
+                                      pjPerBit, " pJ/bit");
+        }
+        if (fatTreeRadix < 0 || (fatTreeRadix > 0 && fatTreeRadix < 4)) {
+            return Status::outOfRange("ClusterConfig: bad fat-tree "
+                                      "radix ", fatTreeRadix);
+        }
+        if (fatTreeTaper < 1.0) {
+            return Status::outOfRange(
+                "ClusterConfig: fat-tree taper must be >= 1, got ",
+                fatTreeTaper);
+        }
+        if (dragonflyGroupRouters < 0) {
+            return Status::outOfRange(
+                "ClusterConfig: bad dragonfly group size ",
+                dragonflyGroupRouters);
+        }
         if (torusX < 0 || torusY < 0 || torusZ < 0)
-            ENA_FATAL("ClusterConfig: bad torus dimensions");
+            return Status::outOfRange(
+                "ClusterConfig: bad torus dimensions");
+        return Status();
     }
+
+    /** Legacy flavor: fatal() on nonsense. */
+    void validate() const { checkOrFatal(tryValidate()); }
 
     /** Short "fat-tree x100000 @4x25GBps" label for tables. */
     std::string

@@ -18,6 +18,10 @@
  * prefix are ignored (they belong to the node layers), as are
  * "cluster.ras." keys (the resiliency layer's; see
  * resilient_cluster_io.hh).
+ *
+ * tryClusterConfigFromConfig is the recoverable entry point (errors
+ * carry the offending key and its source:line origin);
+ * clusterConfigFromConfig is the legacy fatal() wrapper.
  */
 
 #ifndef ENA_CLUSTER_CLUSTER_CONFIG_IO_HH
@@ -25,11 +29,12 @@
 
 #include "cluster/cluster_config.hh"
 #include "util/config.hh"
+#include "util/status.hh"
 
 namespace ena {
 
-inline ClusterConfig
-clusterConfigFromConfig(const Config &cfg)
+inline Expected<ClusterConfig>
+tryClusterConfigFromConfig(const Config &cfg)
 {
     static const char *known[] = {
         "cluster.nodes", "cluster.topology", "cluster.links_per_node",
@@ -46,32 +51,66 @@ clusterConfigFromConfig(const Config &cfg)
         bool ok = false;
         for (const char *k : known)
             ok = ok || key == k;
-        if (!ok)
-            ENA_FATAL("unknown cluster-config key '", key, "'");
+        if (!ok) {
+            std::string where = cfg.origin(key);
+            return Status::invalidArgument(
+                "unknown cluster-config key '", key, "'",
+                where.empty() ? "" : " (" + where + ")");
+        }
     }
 
     ClusterConfig c;
-    c.nodes = static_cast<int>(cfg.getInt("cluster.nodes", c.nodes));
-    c.topology = clusterTopologyFromName(cfg.getString(
-        "cluster.topology", clusterTopologyName(c.topology)));
-    c.linksPerNode = static_cast<int>(
-        cfg.getInt("cluster.links_per_node", c.linksPerNode));
-    c.linkGbs = cfg.getDouble("cluster.link_gbs", c.linkGbs);
-    c.linkLatencyUs =
-        cfg.getDouble("cluster.link_latency_us", c.linkLatencyUs);
-    c.pjPerBit = cfg.getDouble("cluster.pj_per_bit", c.pjPerBit);
-    c.fatTreeRadix = static_cast<int>(
-        cfg.getInt("cluster.fat_tree_radix", c.fatTreeRadix));
-    c.fatTreeTaper =
-        cfg.getDouble("cluster.fat_tree_taper", c.fatTreeTaper);
-    c.dragonflyGroupRouters = static_cast<int>(cfg.getInt(
-        "cluster.dragonfly_group_routers", c.dragonflyGroupRouters));
-    c.torusX = static_cast<int>(cfg.getInt("cluster.torus_x", c.torusX));
-    c.torusY = static_cast<int>(cfg.getInt("cluster.torus_y", c.torusY));
-    c.torusZ = static_cast<int>(cfg.getInt("cluster.torus_z", c.torusZ));
+    ENA_ASSIGN_OR_RETURN(long long nodes,
+                         cfg.tryGetInt("cluster.nodes", c.nodes));
+    c.nodes = static_cast<int>(nodes);
+    ENA_ASSIGN_OR_RETURN(
+        std::string topo,
+        cfg.tryGetString("cluster.topology",
+                         clusterTopologyName(c.topology)));
+    ENA_ASSIGN_OR_RETURN(c.topology, tryClusterTopologyFromName(topo));
+    ENA_ASSIGN_OR_RETURN(
+        long long links,
+        cfg.tryGetInt("cluster.links_per_node", c.linksPerNode));
+    c.linksPerNode = static_cast<int>(links);
+    ENA_ASSIGN_OR_RETURN(c.linkGbs,
+                         cfg.tryGetDouble("cluster.link_gbs", c.linkGbs));
+    ENA_ASSIGN_OR_RETURN(
+        c.linkLatencyUs,
+        cfg.tryGetDouble("cluster.link_latency_us", c.linkLatencyUs));
+    ENA_ASSIGN_OR_RETURN(
+        c.pjPerBit, cfg.tryGetDouble("cluster.pj_per_bit", c.pjPerBit));
+    ENA_ASSIGN_OR_RETURN(
+        long long radix,
+        cfg.tryGetInt("cluster.fat_tree_radix", c.fatTreeRadix));
+    c.fatTreeRadix = static_cast<int>(radix);
+    ENA_ASSIGN_OR_RETURN(
+        c.fatTreeTaper,
+        cfg.tryGetDouble("cluster.fat_tree_taper", c.fatTreeTaper));
+    ENA_ASSIGN_OR_RETURN(
+        long long group,
+        cfg.tryGetInt("cluster.dragonfly_group_routers",
+                      c.dragonflyGroupRouters));
+    c.dragonflyGroupRouters = static_cast<int>(group);
+    ENA_ASSIGN_OR_RETURN(long long tx,
+                         cfg.tryGetInt("cluster.torus_x", c.torusX));
+    c.torusX = static_cast<int>(tx);
+    ENA_ASSIGN_OR_RETURN(long long ty,
+                         cfg.tryGetInt("cluster.torus_y", c.torusY));
+    c.torusY = static_cast<int>(ty);
+    ENA_ASSIGN_OR_RETURN(long long tz,
+                         cfg.tryGetInt("cluster.torus_z", c.torusZ));
+    c.torusZ = static_cast<int>(tz);
 
-    c.validate();
+    ENA_TRY(c.tryValidate());
     return c;
+}
+
+/** Legacy flavor: fatal() with the chained diagnostic on any error. */
+inline ClusterConfig
+clusterConfigFromConfig(const Config &cfg)
+{
+    return unwrapOrFatal(tryClusterConfigFromConfig(cfg).withContext(
+        "loading cluster config"));
 }
 
 /** Serialize a ClusterConfig back into a Config ("cluster." keys). */

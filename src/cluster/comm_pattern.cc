@@ -34,8 +34,8 @@ commPatternName(CommPattern p)
     ENA_FATAL("unknown CommPattern ", static_cast<int>(p));
 }
 
-CommPattern
-commPatternFromName(const std::string &name)
+Expected<CommPattern>
+tryCommPatternFromName(const std::string &name)
 {
     std::string n = toLower(name);
     for (CommPattern p : allCommPatterns()) {
@@ -46,8 +46,15 @@ commPatternFromName(const std::string &name)
         return CommPattern::AllToAll;
     if (n == "nearest-neighbor" || n == "stencil")
         return CommPattern::Halo;
-    ENA_FATAL("unknown comm pattern '", name,
-              "' (want halo, allreduce, or all-to-all)");
+    return Status::invalidArgument(
+        "unknown comm pattern '", name,
+        "' (want halo, allreduce, or all-to-all)");
+}
+
+CommPattern
+commPatternFromName(const std::string &name)
+{
+    return unwrapOrFatal(tryCommPatternFromName(name));
 }
 
 const std::vector<CommPattern> &

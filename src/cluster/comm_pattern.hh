@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
 #include "workloads/kernel_profile.hh"
 
 namespace ena {
@@ -41,6 +42,7 @@ enum class CommPattern
 };
 
 std::string commPatternName(CommPattern p);
+Expected<CommPattern> tryCommPatternFromName(const std::string &name);
 CommPattern commPatternFromName(const std::string &name);
 const std::vector<CommPattern> &allCommPatterns();
 

@@ -1,9 +1,13 @@
 #include "cluster/resilient_cluster.hh"
 
+#include <cstdlib>
 #include <limits>
+#include <sstream>
 
 #include "telemetry/metrics.hh"
 #include "telemetry/telemetry.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
 #include "util/thread_pool.hh"
 
 namespace ena {
@@ -17,6 +21,53 @@ resilientEvalsCounter()
         "resilient.evaluations",
         "(config, app, comm, resilience spec) system evaluations");
     return c;
+}
+
+telemetry::Counter &
+failedCounter()
+{
+    static telemetry::Counter &c = telemetry::counter(
+        "sweep.configs_failed",
+        "grid points quarantined instead of evaluated");
+    return c;
+}
+
+/** Hexfloat journal payload; see encodeDsePoint in core/dse.cc. */
+std::string
+encodeResilientPoint(const ResilientSweepPoint &p)
+{
+    std::ostringstream os;
+    os << strformat("%a %a %a %a %a %a %a %a %d ", p.systemMttfHours,
+                    p.interruptionMttfHours, p.commEfficiency,
+                    p.ckptEfficiency, p.rmtSlowdown, p.systemExaflops,
+                    p.effectiveExaflops, p.systemMw, p.ok ? 1 : 0);
+    os << p.error;
+    return os.str();
+}
+
+bool
+decodeResilientPoint(const std::string &payload, ResilientSweepPoint *p)
+{
+    std::istringstream is(payload);
+    std::string f[8];
+    int ok = 0;
+    if (!(is >> f[0] >> f[1] >> f[2] >> f[3] >> f[4] >> f[5] >> f[6] >>
+          f[7] >> ok))
+        return false;
+    double *dst[8] = {&p->systemMttfHours, &p->interruptionMttfHours,
+                      &p->commEfficiency, &p->ckptEfficiency,
+                      &p->rmtSlowdown, &p->systemExaflops,
+                      &p->effectiveExaflops, &p->systemMw};
+    for (int i = 0; i < 8; ++i) {
+        char *end = nullptr;
+        *dst[i] = std::strtod(f[i].c_str(), &end);
+        if (end == f[i].c_str() || *end)
+            return false;
+    }
+    p->ok = ok != 0;
+    is.get();
+    std::getline(is, p->error);
+    return true;
 }
 
 } // anonymous namespace
@@ -115,6 +166,18 @@ ResilientScaleOutStudy::sweep(
     const std::vector<ClusterTopology> &topologies,
     const std::vector<int> &node_counts) const
 {
+    auto journal = SweepJournal::openFromEnvironment();
+    return sweep(cfg, app, comm, variants, topologies, node_counts,
+                 journal.get());
+}
+
+std::vector<ResilientSweepPoint>
+ResilientScaleOutStudy::sweep(
+    const NodeConfig &cfg, App app, const CommSpec &comm,
+    const std::vector<ProtectionVariant> &variants,
+    const std::vector<ClusterTopology> &topologies,
+    const std::vector<int> &node_counts, SweepJournal *journal) const
+{
     ENA_SPAN("resilient", "protection_sweep");
     const std::size_t nt = topologies.size();
     const std::size_t nn = node_counts.size();
@@ -127,21 +190,64 @@ ResilientScaleOutStudy::sweep(
             cc.nodes = node_counts[i % nn];
             // Explicit torus dims only fit the base node count.
             cc.torusX = cc.torusY = cc.torusZ = 0;
-            ClusterEvaluator ce(eval_, cc);
-            ResilientClusterEvaluator rce(ce, variants[vi].spec);
-            ResilientResult r = rce.evaluate(cfg, app, comm);
             ResilientSweepPoint p;
             p.variant = vi;
             p.topology = cc.topology;
             p.nodes = cc.nodes;
-            p.systemMttfHours = r.systemMttfHours;
-            p.interruptionMttfHours = r.interruptionMttfHours;
-            p.commEfficiency = r.cluster.commEfficiency;
-            p.ckptEfficiency = r.ckptEfficiency;
-            p.rmtSlowdown = r.rmtSlowdown;
-            p.systemExaflops = r.cluster.systemExaflops;
-            p.effectiveExaflops = r.effectiveExaflops;
-            p.systemMw = r.systemMw;
+
+            std::string key, payload;
+            if (journal) {
+                key = strformat("ras[%zu]:v%zu:%s:n%d:%s", i, vi,
+                                clusterTopologyName(cc.topology).c_str(),
+                                cc.nodes, cfg.label().c_str());
+                if (journal->lookup(key, &payload)) {
+                    ResilientSweepPoint j = p;
+                    if (decodeResilientPoint(payload, &j))
+                        return j;
+                    warn("sweep journal: undecodable payload for '",
+                         key, "'; recomputing");
+                }
+            }
+
+            Status valid = cc.tryValidate();
+            if (valid.ok())
+                valid = cfg.tryValidate();
+            if (valid.ok())
+                valid = variants[vi].spec.tryValidate();
+            if (!valid.ok()) {
+                p.ok = false;
+                p.error = valid.toString();
+                failedCounter().add();
+                warn("protection sweep: quarantined cell ", i, ": ",
+                     p.error);
+            } else {
+                try {
+                    ClusterEvaluator ce(eval_, cc);
+                    ResilientClusterEvaluator rce(ce, variants[vi].spec);
+                    ResilientResult r = rce.evaluate(cfg, app, comm);
+                    p.systemMttfHours = r.systemMttfHours;
+                    p.interruptionMttfHours = r.interruptionMttfHours;
+                    p.commEfficiency = r.cluster.commEfficiency;
+                    p.ckptEfficiency = r.ckptEfficiency;
+                    p.rmtSlowdown = r.rmtSlowdown;
+                    p.systemExaflops = r.cluster.systemExaflops;
+                    p.effectiveExaflops = r.effectiveExaflops;
+                    p.systemMw = r.systemMw;
+                } catch (const std::exception &e) {
+                    p = ResilientSweepPoint{};
+                    p.variant = vi;
+                    p.topology = cc.topology;
+                    p.nodes = cc.nodes;
+                    p.ok = false;
+                    p.error = e.what();
+                    failedCounter().add();
+                    warn("protection sweep: quarantined cell ", i, ": ",
+                         p.error);
+                }
+            }
+
+            if (journal)
+                journal->append(key, encodeResilientPoint(p));
             return p;
         });
 }

@@ -35,9 +35,11 @@
 #include <vector>
 
 #include "cluster/cluster_evaluator.hh"
+#include "core/sweep_journal.hh"
 #include "ras/checkpoint.hh"
 #include "ras/fault_model.hh"
 #include "ras/rmt.hh"
+#include "util/status.hh"
 
 namespace ena {
 
@@ -94,16 +96,24 @@ struct ResilienceSpec
         return s;
     }
 
-    void
-    validate() const
+    /** Sanity-check ranges; the error names the offending knob. */
+    Status
+    tryValidate() const
     {
-        if (ras.ntcSerMultiplier < 1.0)
-            ENA_FATAL("ResilienceSpec: NTC SER multiplier must be >= 1, "
-                      "got ", ras.ntcSerMultiplier);
+        if (ras.ntcSerMultiplier < 1.0) {
+            return Status::outOfRange(
+                "ResilienceSpec: NTC SER multiplier must be >= 1, got ",
+                ras.ntcSerMultiplier);
+        }
         if (checkpoint.checkpointBytes <= 0.0 ||
             checkpoint.ioBandwidthBps <= 0.0)
-            ENA_FATAL("ResilienceSpec: bad checkpoint parameters");
+            return Status::outOfRange(
+                "ResilienceSpec: bad checkpoint parameters");
+        return Status();
     }
+
+    /** Legacy flavor: fatal() on nonsense. */
+    void validate() const { checkOrFatal(tryValidate()); }
 };
 
 /** One (node config, app, comm spec, resilience spec) evaluation. */
@@ -195,6 +205,10 @@ struct ResilientSweepPoint
     double systemExaflops = 0.0;    ///< comm-aware, before resiliency
     double effectiveExaflops = 0.0;
     double systemMw = 0.0;
+
+    /** False when the cell was quarantined; @p error says why. */
+    bool ok = true;
+    std::string error;
 };
 
 class ResilientScaleOutStudy
@@ -208,13 +222,24 @@ class ResilientScaleOutStudy
      * Protection x topology x node-count sweep, flattened
      * variant-major then topology-major, sharded over the process pool
      * with one output slot per grid point (bit-identical to a serial
-     * run at any thread count; gated by bench_ras_scaleout).
+     * run at any thread count; gated by bench_ras_scaleout). Invalid
+     * cells are quarantined (ResilientSweepPoint::ok == false), not
+     * fatal; with ENA_SWEEP_JOURNAL set, finished cells stream to the
+     * journal and a killed sweep resumes past them.
      */
     std::vector<ResilientSweepPoint> sweep(
         const NodeConfig &cfg, App app, const CommSpec &comm,
         const std::vector<ProtectionVariant> &variants,
         const std::vector<ClusterTopology> &topologies,
         const std::vector<int> &node_counts) const;
+
+    /** Same, with an explicit journal (null = no checkpointing). */
+    std::vector<ResilientSweepPoint> sweep(
+        const NodeConfig &cfg, App app, const CommSpec &comm,
+        const std::vector<ProtectionVariant> &variants,
+        const std::vector<ClusterTopology> &topologies,
+        const std::vector<int> &node_counts,
+        SweepJournal *journal) const;
 
     /** Availability and power constraints for the best-config search. */
     struct SearchConstraints

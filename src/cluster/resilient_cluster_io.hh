@@ -20,6 +20,10 @@
  *
  * Unknown "cluster.ras." keys are rejected to catch typos; keys
  * outside the prefix are ignored (they belong to the other layers).
+ *
+ * tryResilienceSpecFromConfig is the recoverable entry point (errors
+ * carry the offending key and its source:line origin);
+ * resilienceSpecFromConfig is the legacy fatal() wrapper.
  */
 
 #ifndef ENA_CLUSTER_RESILIENT_CLUSTER_IO_HH
@@ -27,11 +31,12 @@
 
 #include "cluster/resilient_cluster.hh"
 #include "util/config.hh"
+#include "util/status.hh"
 
 namespace ena {
 
-inline ResilienceSpec
-resilienceSpecFromConfig(const Config &cfg)
+inline Expected<ResilienceSpec>
+tryResilienceSpecFromConfig(const Config &cfg)
 {
     static const char *known[] = {
         "cluster.ras.faults_enabled",
@@ -50,33 +55,66 @@ resilienceSpecFromConfig(const Config &cfg)
         bool ok = false;
         for (const char *k : known)
             ok = ok || key == k;
-        if (!ok)
-            ENA_FATAL("unknown resilience-config key '", key, "'");
+        if (!ok) {
+            std::string where = cfg.origin(key);
+            return Status::invalidArgument(
+                "unknown resilience-config key '", key, "'",
+                where.empty() ? "" : " (" + where + ")");
+        }
     }
 
     ResilienceSpec s;
-    s.faultsEnabled =
-        cfg.getBool("cluster.ras.faults_enabled", s.faultsEnabled);
-    s.ras.dramEcc = cfg.getBool("cluster.ras.dram_ecc", s.ras.dramEcc);
-    s.ras.sramEcc = cfg.getBool("cluster.ras.sram_ecc", s.ras.sramEcc);
-    s.ras.gpuRmt = cfg.getBool("cluster.ras.gpu_rmt", s.ras.gpuRmt);
-    s.ras.ntcSerMultiplier = cfg.getDouble(
-        "cluster.ras.ntc_ser_multiplier", s.ras.ntcSerMultiplier);
-    s.rmtPolicy = rmtPolicyFromName(cfg.getString(
-        "cluster.ras.rmt_policy", rmtPolicyName(s.rmtPolicy)));
-    s.checkpoint.checkpointBytes = cfg.getDouble(
-        "cluster.ras.checkpoint_bytes", s.checkpoint.checkpointBytes);
-    s.checkpoint.ioBandwidthBps = cfg.getDouble(
-        "cluster.ras.io_bandwidth_bps", s.checkpoint.ioBandwidthBps);
-    s.checkpoint.overheadS = cfg.getDouble(
-        "cluster.ras.checkpoint_overhead_s", s.checkpoint.overheadS);
-    s.checkpoint.restartExtraS = cfg.getDouble(
-        "cluster.ras.restart_extra_s", s.checkpoint.restartExtraS);
-    s.checkpointViaFabric = cfg.getBool(
-        "cluster.ras.checkpoint_via_fabric", s.checkpointViaFabric);
+    ENA_ASSIGN_OR_RETURN(
+        s.faultsEnabled,
+        cfg.tryGetBool("cluster.ras.faults_enabled", s.faultsEnabled));
+    ENA_ASSIGN_OR_RETURN(
+        s.ras.dramEcc,
+        cfg.tryGetBool("cluster.ras.dram_ecc", s.ras.dramEcc));
+    ENA_ASSIGN_OR_RETURN(
+        s.ras.sramEcc,
+        cfg.tryGetBool("cluster.ras.sram_ecc", s.ras.sramEcc));
+    ENA_ASSIGN_OR_RETURN(
+        s.ras.gpuRmt, cfg.tryGetBool("cluster.ras.gpu_rmt", s.ras.gpuRmt));
+    ENA_ASSIGN_OR_RETURN(
+        s.ras.ntcSerMultiplier,
+        cfg.tryGetDouble("cluster.ras.ntc_ser_multiplier",
+                         s.ras.ntcSerMultiplier));
+    ENA_ASSIGN_OR_RETURN(
+        std::string policy,
+        cfg.tryGetString("cluster.ras.rmt_policy",
+                         rmtPolicyName(s.rmtPolicy)));
+    ENA_ASSIGN_OR_RETURN(s.rmtPolicy, tryRmtPolicyFromName(policy));
+    ENA_ASSIGN_OR_RETURN(
+        s.checkpoint.checkpointBytes,
+        cfg.tryGetDouble("cluster.ras.checkpoint_bytes",
+                         s.checkpoint.checkpointBytes));
+    ENA_ASSIGN_OR_RETURN(
+        s.checkpoint.ioBandwidthBps,
+        cfg.tryGetDouble("cluster.ras.io_bandwidth_bps",
+                         s.checkpoint.ioBandwidthBps));
+    ENA_ASSIGN_OR_RETURN(
+        s.checkpoint.overheadS,
+        cfg.tryGetDouble("cluster.ras.checkpoint_overhead_s",
+                         s.checkpoint.overheadS));
+    ENA_ASSIGN_OR_RETURN(
+        s.checkpoint.restartExtraS,
+        cfg.tryGetDouble("cluster.ras.restart_extra_s",
+                         s.checkpoint.restartExtraS));
+    ENA_ASSIGN_OR_RETURN(
+        s.checkpointViaFabric,
+        cfg.tryGetBool("cluster.ras.checkpoint_via_fabric",
+                       s.checkpointViaFabric));
 
-    s.validate();
+    ENA_TRY(s.tryValidate());
     return s;
+}
+
+/** Legacy flavor: fatal() with the chained diagnostic on any error. */
+inline ResilienceSpec
+resilienceSpecFromConfig(const Config &cfg)
+{
+    return unwrapOrFatal(tryResilienceSpecFromConfig(cfg).withContext(
+        "loading resilience spec"));
 }
 
 /** Serialize a ResilienceSpec back into a Config ("cluster.ras."). */

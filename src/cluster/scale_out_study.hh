@@ -16,9 +16,11 @@
 #ifndef ENA_CLUSTER_SCALE_OUT_STUDY_HH
 #define ENA_CLUSTER_SCALE_OUT_STUDY_HH
 
+#include <string>
 #include <vector>
 
 #include "cluster/cluster_evaluator.hh"
+#include "core/sweep_journal.hh"
 
 namespace ena {
 
@@ -54,6 +56,10 @@ struct TopologyPoint
     double efficiency = 0.0;
     double systemExaflops = 0.0;
     double systemMw = 0.0;
+
+    /** False when the cell was quarantined; @p error says why. */
+    bool ok = true;
+    std::string error;
 };
 
 class ScaleOutStudy
@@ -80,12 +86,24 @@ class ScaleOutStudy
     std::vector<ClusterFig14Point> fig14(const std::vector<int> &cus,
                                          const CommSpec &spec) const;
 
-    /** Fabric comparison over topologies x node counts (flattened,
-     *  topology-major, sharded over the process pool). */
+    /**
+     * Fabric comparison over topologies x node counts (flattened,
+     * topology-major, sharded over the process pool). Invalid cells
+     * are quarantined (TopologyPoint::ok == false), not fatal; with
+     * ENA_SWEEP_JOURNAL set, finished cells stream to the journal and
+     * a killed sweep resumes past them.
+     */
     std::vector<TopologyPoint> topologySweep(
         const NodeConfig &cfg, App app, const CommSpec &spec,
         const std::vector<ClusterTopology> &topologies,
         const std::vector<int> &node_counts) const;
+
+    /** Same, with an explicit journal (null = no checkpointing). */
+    std::vector<TopologyPoint> topologySweep(
+        const NodeConfig &cfg, App app, const CommSpec &spec,
+        const std::vector<ClusterTopology> &topologies,
+        const std::vector<int> &node_counts,
+        SweepJournal *journal) const;
 
     const ClusterConfig &baseConfig() const { return base_; }
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "util/logging.hh"
+#include "util/status.hh"
 #include "util/string_utils.hh"
 
 namespace ena {
@@ -125,19 +126,27 @@ struct NodeConfig
         return cus * freqGhz / (bwTbs * 1000.0);
     }
 
-    /** Sanity-check ranges; fatal() on nonsense. */
-    void
-    validate() const
+    /** Sanity-check ranges; the error names the offending knob. */
+    Status
+    tryValidate() const
     {
         if (cus <= 0 || cus > 4096)
-            ENA_FATAL("NodeConfig: bad CU count ", cus);
-        if (freqGhz <= 0.0 || freqGhz > 10.0)
-            ENA_FATAL("NodeConfig: bad GPU frequency ", freqGhz, " GHz");
-        if (bwTbs <= 0.0 || bwTbs > 100.0)
-            ENA_FATAL("NodeConfig: bad bandwidth ", bwTbs, " TB/s");
+            return Status::outOfRange("NodeConfig: bad CU count ", cus);
+        if (freqGhz <= 0.0 || freqGhz > 10.0) {
+            return Status::outOfRange("NodeConfig: bad GPU frequency ",
+                                      freqGhz, " GHz");
+        }
+        if (bwTbs <= 0.0 || bwTbs > 100.0) {
+            return Status::outOfRange("NodeConfig: bad bandwidth ",
+                                      bwTbs, " TB/s");
+        }
         if (gpuChiplets <= 0 || cpuChiplets < 0)
-            ENA_FATAL("NodeConfig: bad chiplet counts");
+            return Status::outOfRange("NodeConfig: bad chiplet counts");
+        return Status();
     }
+
+    /** Legacy flavor: fatal() on nonsense. */
+    void validate() const { checkOrFatal(tryValidate()); }
 
     /** Short "320cu@1.00GHz/3.0TBps" label for tables. */
     std::string

@@ -16,6 +16,10 @@
  * "cluster." keys are ignored here: they describe the scale-out layer
  * and are parsed by clusterConfigFromConfig (src/cluster/), so a single
  * file can describe the node and the machine around it.
+ *
+ * tryNodeConfigFromConfig is the recoverable entry point (errors carry
+ * the offending key and its source:line origin); nodeConfigFromConfig
+ * is the legacy fatal() wrapper.
  */
 
 #ifndef ENA_COMMON_NODE_CONFIG_IO_HH
@@ -23,11 +27,12 @@
 
 #include "common/node_config.hh"
 #include "util/config.hh"
+#include "util/status.hh"
 
 namespace ena {
 
-inline NodeConfig
-nodeConfigFromConfig(const Config &cfg)
+inline Expected<NodeConfig>
+tryNodeConfigFromConfig(const Config &cfg)
 {
     static const char *known[] = {
         "ehp.cus", "ehp.freq_ghz", "ehp.bw_tbs", "ehp.gpu_chiplets",
@@ -47,43 +52,78 @@ nodeConfigFromConfig(const Config &cfg)
         bool ok = false;
         for (const char *k : known)
             ok = ok || key == k;
-        if (!ok)
-            ENA_FATAL("unknown node-config key '", key, "'");
+        if (!ok) {
+            std::string where = cfg.origin(key);
+            return Status::invalidArgument(
+                "unknown node-config key '", key, "'",
+                where.empty() ? "" : " (" + where + ")");
+        }
     }
 
     NodeConfig n;
-    n.cus = static_cast<int>(cfg.getInt("ehp.cus", n.cus));
-    n.freqGhz = cfg.getDouble("ehp.freq_ghz", n.freqGhz);
-    n.bwTbs = cfg.getDouble("ehp.bw_tbs", n.bwTbs);
-    n.gpuChiplets =
-        static_cast<int>(cfg.getInt("ehp.gpu_chiplets", n.gpuChiplets));
-    n.cpuChiplets =
-        static_cast<int>(cfg.getInt("ehp.cpu_chiplets", n.cpuChiplets));
-    n.coresPerCpuChiplet = static_cast<int>(
-        cfg.getInt("ehp.cores_per_cpu_chiplet", n.coresPerCpuChiplet));
-    n.inPackageGb = cfg.getDouble("ehp.in_package_gb", n.inPackageGb);
+    ENA_ASSIGN_OR_RETURN(long long cus, cfg.tryGetInt("ehp.cus", n.cus));
+    n.cus = static_cast<int>(cus);
+    ENA_ASSIGN_OR_RETURN(n.freqGhz,
+                         cfg.tryGetDouble("ehp.freq_ghz", n.freqGhz));
+    ENA_ASSIGN_OR_RETURN(n.bwTbs,
+                         cfg.tryGetDouble("ehp.bw_tbs", n.bwTbs));
+    ENA_ASSIGN_OR_RETURN(
+        long long gpu_chiplets,
+        cfg.tryGetInt("ehp.gpu_chiplets", n.gpuChiplets));
+    n.gpuChiplets = static_cast<int>(gpu_chiplets);
+    ENA_ASSIGN_OR_RETURN(
+        long long cpu_chiplets,
+        cfg.tryGetInt("ehp.cpu_chiplets", n.cpuChiplets));
+    n.cpuChiplets = static_cast<int>(cpu_chiplets);
+    ENA_ASSIGN_OR_RETURN(
+        long long cores,
+        cfg.tryGetInt("ehp.cores_per_cpu_chiplet", n.coresPerCpuChiplet));
+    n.coresPerCpuChiplet = static_cast<int>(cores);
+    ENA_ASSIGN_OR_RETURN(
+        n.inPackageGb,
+        cfg.tryGetDouble("ehp.in_package_gb", n.inPackageGb));
 
-    n.ext.dramGb = cfg.getDouble("extmem.dram_gb", n.ext.dramGb);
-    n.ext.nvmGb = cfg.getDouble("extmem.nvm_gb", n.ext.nvmGb);
-    n.ext.dramModuleGb =
-        cfg.getDouble("extmem.dram_module_gb", n.ext.dramModuleGb);
-    n.ext.nvmModuleGb =
-        cfg.getDouble("extmem.nvm_module_gb", n.ext.nvmModuleGb);
-    n.ext.interfaces = static_cast<int>(
-        cfg.getInt("extmem.interfaces", n.ext.interfaces));
-    n.ext.interfaceGbs =
-        cfg.getDouble("extmem.interface_gbs", n.ext.interfaceGbs);
+    ENA_ASSIGN_OR_RETURN(
+        n.ext.dramGb, cfg.tryGetDouble("extmem.dram_gb", n.ext.dramGb));
+    ENA_ASSIGN_OR_RETURN(
+        n.ext.nvmGb, cfg.tryGetDouble("extmem.nvm_gb", n.ext.nvmGb));
+    ENA_ASSIGN_OR_RETURN(
+        n.ext.dramModuleGb,
+        cfg.tryGetDouble("extmem.dram_module_gb", n.ext.dramModuleGb));
+    ENA_ASSIGN_OR_RETURN(
+        n.ext.nvmModuleGb,
+        cfg.tryGetDouble("extmem.nvm_module_gb", n.ext.nvmModuleGb));
+    ENA_ASSIGN_OR_RETURN(
+        long long interfaces,
+        cfg.tryGetInt("extmem.interfaces", n.ext.interfaces));
+    n.ext.interfaces = static_cast<int>(interfaces);
+    ENA_ASSIGN_OR_RETURN(
+        n.ext.interfaceGbs,
+        cfg.tryGetDouble("extmem.interface_gbs", n.ext.interfaceGbs));
 
-    n.opts.ntc = cfg.getBool("opts.ntc", n.opts.ntc);
-    n.opts.asyncCu = cfg.getBool("opts.async_cu", n.opts.asyncCu);
-    n.opts.asyncRouter =
-        cfg.getBool("opts.async_router", n.opts.asyncRouter);
-    n.opts.lpLinks = cfg.getBool("opts.lp_links", n.opts.lpLinks);
-    n.opts.compression =
-        cfg.getBool("opts.compression", n.opts.compression);
+    ENA_ASSIGN_OR_RETURN(n.opts.ntc,
+                         cfg.tryGetBool("opts.ntc", n.opts.ntc));
+    ENA_ASSIGN_OR_RETURN(
+        n.opts.asyncCu, cfg.tryGetBool("opts.async_cu", n.opts.asyncCu));
+    ENA_ASSIGN_OR_RETURN(
+        n.opts.asyncRouter,
+        cfg.tryGetBool("opts.async_router", n.opts.asyncRouter));
+    ENA_ASSIGN_OR_RETURN(
+        n.opts.lpLinks, cfg.tryGetBool("opts.lp_links", n.opts.lpLinks));
+    ENA_ASSIGN_OR_RETURN(
+        n.opts.compression,
+        cfg.tryGetBool("opts.compression", n.opts.compression));
 
-    n.validate();
+    ENA_TRY(n.tryValidate());
     return n;
+}
+
+/** Legacy flavor: fatal() with the chained diagnostic on any error. */
+inline NodeConfig
+nodeConfigFromConfig(const Config &cfg)
+{
+    return unwrapOrFatal(
+        tryNodeConfigFromConfig(cfg).withContext("loading node config"));
 }
 
 /** Serialize a NodeConfig back into a Config. */

@@ -1,11 +1,14 @@
 #include "core/dse.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <sstream>
 
 #include "common/calibration.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/telemetry.hh"
 #include "util/logging.hh"
+#include "util/string_utils.hh"
 #include "util/thread_pool.hh"
 
 namespace ena {
@@ -19,6 +22,64 @@ configsCounter()
         "dse.configs_evaluated",
         "grid points scored across all DSE sweeps and searches");
     return c;
+}
+
+telemetry::Counter &
+failedCounter()
+{
+    static telemetry::Counter &c = telemetry::counter(
+        "sweep.configs_failed",
+        "grid points quarantined instead of evaluated");
+    return c;
+}
+
+/** Stable bitmask of the power-opt toggles, for journal keys. */
+int
+optsBits(const PowerOptConfig &o)
+{
+    return (o.ntc << 0) | (o.asyncCu << 1) | (o.asyncRouter << 2) |
+           (o.lpLinks << 3) | (o.compression << 4);
+}
+
+/**
+ * Journal payload for one DsePoint. Doubles travel as hexfloats so a
+ * resumed sweep reproduces the uninterrupted table bit-for-bit; the
+ * config itself is not stored (the key pins index, label, and opts).
+ */
+std::string
+encodeDsePoint(const DsePoint &p)
+{
+    std::ostringstream os;
+    os << strformat("%a %a %a %d %d ", p.geomeanFlops,
+                    p.meanBudgetPowerW, p.maxBudgetPowerW,
+                    p.feasible ? 1 : 0, p.ok ? 1 : 0);
+    os << p.error;
+    return os.str();
+}
+
+bool
+decodeDsePoint(const std::string &payload, DsePoint *p)
+{
+    std::istringstream is(payload);
+    int feasible = 0, ok = 0;
+    std::string g, m, x;
+    if (!(is >> g >> m >> x >> feasible >> ok))
+        return false;
+    char *end = nullptr;
+    p->geomeanFlops = std::strtod(g.c_str(), &end);
+    if (end == g.c_str() || *end)
+        return false;
+    p->meanBudgetPowerW = std::strtod(m.c_str(), &end);
+    if (end == m.c_str() || *end)
+        return false;
+    p->maxBudgetPowerW = std::strtod(x.c_str(), &end);
+    if (end == x.c_str() || *end)
+        return false;
+    p->feasible = feasible != 0;
+    p->ok = ok != 0;
+    is.get();   // the separator before the (possibly empty) error text
+    std::getline(is, p->error);
+    return true;
 }
 
 /** Publish the configs/sec rate of the sweep that just finished. */
@@ -77,9 +138,20 @@ DesignSpaceExplorer::configAt(std::size_t index,
 std::vector<DsePoint>
 DesignSpaceExplorer::sweep(const PowerOptConfig &opts) const
 {
+    auto journal = SweepJournal::openFromEnvironment();
+    return sweep(opts, journal.get());
+}
+
+std::vector<DsePoint>
+DesignSpaceExplorer::sweep(const PowerOptConfig &opts,
+                           SweepJournal *journal) const
+{
     // Each grid point is independent; workers fill their own slots and
     // no reduction happens here, so the output is identical to the
-    // serial enumeration for any thread count.
+    // serial enumeration for any thread count. A bad grid point is
+    // quarantined into its slot rather than killing the sweep, and
+    // with a journal every finished slot is also streamed to disk so a
+    // killed run resumes instead of recomputing.
     ENA_SPAN("dse", "sweep");
     const double t0 = telemetry::nowUs();
     auto points = ThreadPool::global().parallelMap(
@@ -87,10 +159,46 @@ DesignSpaceExplorer::sweep(const PowerOptConfig &opts) const
             telemetry::ScopedSpan span("dse", "evaluate_config");
             DsePoint p;
             p.cfg = configAt(i, opts);
-            p.geomeanFlops = eval_.geomeanFlops(p.cfg);
-            p.meanBudgetPowerW = eval_.meanBudgetPower(p.cfg);
-            p.maxBudgetPowerW = eval_.maxBudgetPower(p.cfg);
-            p.feasible = p.maxBudgetPowerW <= budgetW_;
+
+            std::string key, payload;
+            if (journal) {
+                key = strformat("dse[%zu]:%s:o%d", i,
+                                p.cfg.label().c_str(), optsBits(opts));
+                if (journal->lookup(key, &payload)) {
+                    DsePoint j = p;
+                    if (decodeDsePoint(payload, &j))
+                        return j;
+                    warn("sweep journal: undecodable payload for '",
+                         key, "'; recomputing");
+                }
+            }
+
+            Status valid = p.cfg.tryValidate();
+            if (!valid.ok()) {
+                p.ok = false;
+                p.error = valid.toString();
+                failedCounter().add();
+                warn("DSE: quarantined grid point ", i, " (",
+                     p.cfg.label(), "): ", p.error);
+            } else {
+                try {
+                    p.geomeanFlops = eval_.geomeanFlops(p.cfg);
+                    p.meanBudgetPowerW = eval_.meanBudgetPower(p.cfg);
+                    p.maxBudgetPowerW = eval_.maxBudgetPower(p.cfg);
+                    p.feasible = p.maxBudgetPowerW <= budgetW_;
+                } catch (const std::exception &e) {
+                    p = DsePoint{};
+                    p.cfg = configAt(i, opts);
+                    p.ok = false;
+                    p.error = e.what();
+                    failedCounter().add();
+                    warn("DSE: quarantined grid point ", i, " (",
+                         p.cfg.label(), "): ", p.error);
+                }
+            }
+
+            if (journal)
+                journal->append(key, encodeDsePoint(p));
             return p;
         });
     configsCounter().add(grid_.size());

@@ -23,6 +23,7 @@
 
 #include "common/node_config.hh"
 #include "core/node_evaluator.hh"
+#include "core/sweep_journal.hh"
 #include "workloads/kernel_profile.hh"
 
 namespace ena {
@@ -56,6 +57,15 @@ struct DsePoint
     double meanBudgetPowerW = 0.0;
     double maxBudgetPowerW = 0.0;   ///< worst application's budget power
     bool feasible = false;          ///< maxBudgetPowerW <= budget
+
+    /**
+     * False when the point was quarantined: its config failed
+     * validation or its evaluation threw. Quarantined points carry the
+     * diagnostic in @p error, score zero, and are never feasible — the
+     * sweep completes instead of dying with the whole grid's work.
+     */
+    bool ok = true;
+    std::string error;
 };
 
 /** Best configuration for a single application. */
@@ -89,8 +99,18 @@ class DesignSpaceExplorer
     DesignSpaceExplorer(const NodeEvaluator &eval, DseGrid grid,
                         double budget_w);
 
-    /** Score every grid point (for inspection / calibration). */
+    /**
+     * Score every grid point (for inspection / calibration). Invalid
+     * or throwing points are quarantined (DsePoint::ok == false), not
+     * fatal. Consults ENA_SWEEP_JOURNAL: when set, finished points
+     * stream to that journal and already-journaled points are skipped,
+     * so a killed sweep resumes where it left off.
+     */
     std::vector<DsePoint> sweep(const PowerOptConfig &opts) const;
+
+    /** Same, with an explicit journal (null = no checkpointing). */
+    std::vector<DsePoint> sweep(const PowerOptConfig &opts,
+                                SweepJournal *journal) const;
 
     /**
      * Highest geomean-performance configuration whose worst-case

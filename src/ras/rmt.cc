@@ -22,8 +22,8 @@ rmtPolicyName(RmtPolicy p)
     ENA_FATAL("unknown RmtPolicy ", static_cast<int>(p));
 }
 
-RmtPolicy
-rmtPolicyFromName(const std::string &name)
+Expected<RmtPolicy>
+tryRmtPolicyFromName(const std::string &name)
 {
     std::string n = toLower(name);
     for (RmtPolicy p : allRmtPolicies()) {
@@ -32,8 +32,15 @@ rmtPolicyFromName(const std::string &name)
     }
     if (n == "none" || n == "disabled")
         return RmtPolicy::Off;
-    ENA_FATAL("unknown RMT policy '", name,
-              "' (want off, opportunistic, or full)");
+    return Status::invalidArgument(
+        "unknown RMT policy '", name,
+        "' (want off, opportunistic, or full)");
+}
+
+RmtPolicy
+rmtPolicyFromName(const std::string &name)
+{
+    return unwrapOrFatal(tryRmtPolicyFromName(name));
 }
 
 const std::vector<RmtPolicy> &

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/activity.hh"
+#include "util/status.hh"
 
 namespace ena {
 
@@ -40,6 +41,9 @@ enum class RmtPolicy
 
 /** Display name ("off" / "opportunistic" / "full"). */
 std::string rmtPolicyName(RmtPolicy p);
+
+/** Parse a policy name (case-insensitive). */
+Expected<RmtPolicy> tryRmtPolicyFromName(const std::string &name);
 
 /** Parse a policy name (case-insensitive); fatal() on unknown. */
 RmtPolicy rmtPolicyFromName(const std::string &name);

@@ -1,6 +1,8 @@
 #include "util/config.hh"
 
+#include <cmath>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -8,13 +10,14 @@
 
 namespace ena {
 
-Config
-Config::fromString(std::string_view text)
+Expected<Config>
+Config::tryFromString(std::string_view text, const std::string &source)
 {
     Config cfg;
     std::istringstream in{std::string(text)};
     std::string line;
     int lineno = 0;
+    std::set<std::string> warned;
     while (std::getline(in, line)) {
         ++lineno;
         size_t hash = line.find('#');
@@ -24,32 +27,54 @@ Config::fromString(std::string_view text)
         if (t.empty())
             continue;
         size_t eq = t.find('=');
-        if (eq == std::string::npos)
-            ENA_FATAL("config line ", lineno, ": missing '=' in '", t, "'");
+        if (eq == std::string::npos) {
+            return Status::parseError(source, ":", lineno,
+                                      ": missing '=' in '", t, "'");
+        }
         std::string key = trim(t.substr(0, eq));
         std::string value = trim(t.substr(eq + 1));
         if (key.empty())
-            ENA_FATAL("config line ", lineno, ": empty key");
-        cfg.values_[key] = value;
+            return Status::parseError(source, ":", lineno, ": empty key");
+        auto it = cfg.values_.find(key);
+        if (it != cfg.values_.end() && warned.insert(key).second) {
+            // Duplicates are almost always a typo; keep the legacy
+            // last-write-wins behavior but say so (once per key).
+            warn(source, ":", lineno, ": duplicate key '", key,
+                 "' overrides earlier value from ", it->second.origin);
+        }
+        cfg.values_[key] = Entry{value, source + ":" +
+                                            std::to_string(lineno)};
     }
     return cfg;
+}
+
+Expected<Config>
+Config::tryFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::ioError("cannot open config file '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return tryFromString(buf.str(), path);
+}
+
+Config
+Config::fromString(std::string_view text)
+{
+    return unwrapOrFatal(tryFromString(text));
 }
 
 Config
 Config::fromFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        ENA_FATAL("cannot open config file '", path, "'");
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    return fromString(buf.str());
+    return unwrapOrFatal(tryFromFile(path));
 }
 
 void
 Config::set(const std::string &key, const std::string &value)
 {
-    values_[key] = value;
+    values_[key] = Entry{value, ""};
 }
 
 void
@@ -58,25 +83,25 @@ Config::set(const std::string &key, double value)
     std::ostringstream os;
     os.precision(15);
     os << value;
-    values_[key] = os.str();
+    values_[key] = Entry{os.str(), ""};
 }
 
 void
 Config::set(const std::string &key, long long value)
 {
-    values_[key] = std::to_string(value);
+    values_[key] = Entry{std::to_string(value), ""};
 }
 
 void
 Config::set(const std::string &key, int value)
 {
-    values_[key] = std::to_string(value);
+    values_[key] = Entry{std::to_string(value), ""};
 }
 
 void
 Config::set(const std::string &key, bool value)
 {
-    values_[key] = value ? "true" : "false";
+    values_[key] = Entry{value ? "true" : "false", ""};
 }
 
 bool
@@ -85,101 +110,163 @@ Config::has(const std::string &key) const
     return values_.count(key) > 0;
 }
 
-std::optional<std::string>
+const Config::Entry *
 Config::lookup(const std::string &key) const
 {
     auto it = values_.find(key);
-    if (it == values_.end())
-        return std::nullopt;
-    return it->second;
+    return it == values_.end() ? nullptr : &it->second;
+}
+
+std::string
+Config::describeKey(const std::string &key) const
+{
+    const Entry *e = lookup(key);
+    if (e && !e->origin.empty())
+        return "'" + key + "' (" + e->origin + ")";
+    return "'" + key + "'";
+}
+
+std::string
+Config::origin(const std::string &key) const
+{
+    const Entry *e = lookup(key);
+    return e ? e->origin : "";
+}
+
+Expected<std::string>
+Config::tryGetString(const std::string &key) const
+{
+    const Entry *e = lookup(key);
+    if (!e)
+        return Status::notFound("missing config key '", key, "'");
+    return e->value;
+}
+
+Expected<std::string>
+Config::tryGetString(const std::string &key,
+                     const std::string &dflt) const
+{
+    const Entry *e = lookup(key);
+    return e ? e->value : dflt;
+}
+
+Expected<double>
+Config::tryGetDouble(const std::string &key) const
+{
+    const Entry *e = lookup(key);
+    if (!e)
+        return Status::notFound("missing config key '", key, "'");
+    auto d = parseDouble(e->value);
+    if (!d) {
+        return Status::parseError("config key ", describeKey(key), ": '",
+                                  e->value, "' is not a number");
+    }
+    if (!std::isfinite(*d)) {
+        // NaN/inf parse but poison every downstream model; reject.
+        return Status::outOfRange("config key ", describeKey(key), ": '",
+                                  e->value, "' is not a finite number");
+    }
+    return *d;
+}
+
+Expected<double>
+Config::tryGetDouble(const std::string &key, double dflt) const
+{
+    if (!lookup(key))
+        return dflt;
+    return tryGetDouble(key);
+}
+
+Expected<long long>
+Config::tryGetInt(const std::string &key) const
+{
+    const Entry *e = lookup(key);
+    if (!e)
+        return Status::notFound("missing config key '", key, "'");
+    auto d = parseInt(e->value);
+    if (!d) {
+        return Status::parseError("config key ", describeKey(key), ": '",
+                                  e->value, "' is not an integer");
+    }
+    return *d;
+}
+
+Expected<long long>
+Config::tryGetInt(const std::string &key, long long dflt) const
+{
+    if (!lookup(key))
+        return dflt;
+    return tryGetInt(key);
+}
+
+Expected<bool>
+Config::tryGetBool(const std::string &key) const
+{
+    const Entry *e = lookup(key);
+    if (!e)
+        return Status::notFound("missing config key '", key, "'");
+    auto b = parseBool(e->value);
+    if (!b) {
+        return Status::parseError("config key ", describeKey(key), ": '",
+                                  e->value, "' is not a boolean");
+    }
+    return *b;
+}
+
+Expected<bool>
+Config::tryGetBool(const std::string &key, bool dflt) const
+{
+    if (!lookup(key))
+        return dflt;
+    return tryGetBool(key);
 }
 
 std::string
 Config::getString(const std::string &key) const
 {
-    auto v = lookup(key);
-    if (!v)
-        ENA_FATAL("missing config key '", key, "'");
-    return *v;
+    return unwrapOrFatal(tryGetString(key));
 }
 
 std::string
 Config::getString(const std::string &key, const std::string &dflt) const
 {
-    auto v = lookup(key);
-    return v ? *v : dflt;
+    return unwrapOrFatal(tryGetString(key, dflt));
 }
 
 double
 Config::getDouble(const std::string &key) const
 {
-    auto v = lookup(key);
-    if (!v)
-        ENA_FATAL("missing config key '", key, "'");
-    auto d = parseDouble(*v);
-    if (!d)
-        ENA_FATAL("config key '", key, "': '", *v, "' is not a number");
-    return *d;
+    return unwrapOrFatal(tryGetDouble(key));
 }
 
 double
 Config::getDouble(const std::string &key, double dflt) const
 {
-    auto v = lookup(key);
-    if (!v)
-        return dflt;
-    auto d = parseDouble(*v);
-    if (!d)
-        ENA_FATAL("config key '", key, "': '", *v, "' is not a number");
-    return *d;
+    return unwrapOrFatal(tryGetDouble(key, dflt));
 }
 
 long long
 Config::getInt(const std::string &key) const
 {
-    auto v = lookup(key);
-    if (!v)
-        ENA_FATAL("missing config key '", key, "'");
-    auto d = parseInt(*v);
-    if (!d)
-        ENA_FATAL("config key '", key, "': '", *v, "' is not an integer");
-    return *d;
+    return unwrapOrFatal(tryGetInt(key));
 }
 
 long long
 Config::getInt(const std::string &key, long long dflt) const
 {
-    auto v = lookup(key);
-    if (!v)
-        return dflt;
-    auto d = parseInt(*v);
-    if (!d)
-        ENA_FATAL("config key '", key, "': '", *v, "' is not an integer");
-    return *d;
+    return unwrapOrFatal(tryGetInt(key, dflt));
 }
 
 bool
 Config::getBool(const std::string &key) const
 {
-    auto v = lookup(key);
-    if (!v)
-        ENA_FATAL("missing config key '", key, "'");
-    auto b = parseBool(*v);
-    if (!b)
-        ENA_FATAL("config key '", key, "': '", *v, "' is not a boolean");
-    return *b;
+    return unwrapOrFatal(tryGetBool(key));
 }
 
 bool
 Config::getBool(const std::string &key, bool dflt) const
 {
-    auto v = lookup(key);
-    if (!v)
-        return dflt;
-    auto b = parseBool(*v);
-    if (!b)
-        ENA_FATAL("config key '", key, "': '", *v, "' is not a boolean");
-    return *b;
+    return unwrapOrFatal(tryGetBool(key, dflt));
 }
 
 std::vector<std::string>
@@ -205,7 +292,7 @@ Config::toString() const
 {
     std::ostringstream os;
     for (const auto &[k, v] : values_)
-        os << k << " = " << v << "\n";
+        os << k << " = " << v.value << "\n";
     return os.str();
 }
 

@@ -6,6 +6,14 @@
  * stored as strings and converted on access. Supports parsing from
  * "key = value" text (one per line, '#' comments) so examples and benches
  * can be driven from config files, and merging/overriding for sweeps.
+ *
+ * Errors are values: the try* entry points return ena::Status /
+ * ena::Expected with precise source:line/key diagnostics, so a sweep
+ * can quarantine one bad config instead of dying. The fatal() flavors
+ * are thin wrappers over them, kept for CLI compatibility. Parsing
+ * tracks each key's origin ("file.ini:12") and warns once per key on
+ * duplicates (last occurrence wins); typed numeric accessors reject
+ * NaN/inf and trailing garbage ("3.0x").
  */
 
 #ifndef ENA_UTIL_CONFIG_HH
@@ -17,12 +25,24 @@
 #include <string_view>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace ena {
 
 class Config
 {
   public:
     Config() = default;
+
+    /**
+     * Parse "key = value" lines. @p source names the text in
+     * diagnostics and key origins (defaults to "<string>").
+     */
+    static Expected<Config> tryFromString(
+        std::string_view text, const std::string &source = "<string>");
+
+    /** Load from a file; IoError if unreadable, ParseError if bad. */
+    static Expected<Config> tryFromFile(const std::string &path);
 
     /** Parse "key = value" lines; fatal() on malformed input. */
     static Config fromString(std::string_view text);
@@ -41,9 +61,29 @@ class Config
     bool has(const std::string &key) const;
 
     /**
-     * Typed accessors. The no-default forms call fatal() when the key is
-     * missing or unparseable; the defaulted forms return the default when
-     * the key is absent but still fatal() on a present-but-bad value.
+     * Typed accessors, recoverable flavor. The no-default forms return
+     * NotFound when the key is missing and ParseError/OutOfRange when
+     * the value is malformed (non-finite numbers and trailing garbage
+     * are malformed); the defaulted forms return the default when the
+     * key is absent but still report a present-but-bad value.
+     * Diagnostics carry the key and its source:line origin.
+     */
+    Expected<std::string> tryGetString(const std::string &key) const;
+    Expected<std::string> tryGetString(const std::string &key,
+                                       const std::string &dflt) const;
+    Expected<double> tryGetDouble(const std::string &key) const;
+    Expected<double> tryGetDouble(const std::string &key,
+                                  double dflt) const;
+    Expected<long long> tryGetInt(const std::string &key) const;
+    Expected<long long> tryGetInt(const std::string &key,
+                                  long long dflt) const;
+    Expected<bool> tryGetBool(const std::string &key) const;
+    Expected<bool> tryGetBool(const std::string &key, bool dflt) const;
+
+    /**
+     * Typed accessors, legacy flavor: thin fatal() wrappers over the
+     * try* forms above (same diagnostics, process exit instead of a
+     * Status).
      */
     std::string getString(const std::string &key) const;
     std::string getString(const std::string &key,
@@ -64,12 +104,27 @@ class Config
     /** Serialize back to "key = value" lines in sorted key order. */
     std::string toString() const;
 
+    /**
+     * Where a key was parsed from ("cfg.ini:12"); empty for keys added
+     * via set()/merge or when unknown. Used in diagnostics.
+     */
+    std::string origin(const std::string &key) const;
+
     size_t size() const { return values_.size(); }
 
   private:
-    std::optional<std::string> lookup(const std::string &key) const;
+    struct Entry
+    {
+        std::string value;
+        std::string origin;   ///< "source:line" when parsed from text
+    };
 
-    std::map<std::string, std::string> values_;
+    const Entry *lookup(const std::string &key) const;
+
+    /** "'key'" or "'key' (cfg.ini:12)" for diagnostics. */
+    std::string describeKey(const std::string &key) const;
+
+    std::map<std::string, Entry> values_;
 };
 
 } // namespace ena

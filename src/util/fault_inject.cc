@@ -1,0 +1,162 @@
+#include "util/fault_inject.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace ena {
+
+namespace {
+
+std::mutex plan_mutex;
+FaultPlan active_plan;
+
+telemetry::Counter &
+injectedCounter()
+{
+    static telemetry::Counter &c = telemetry::counter(
+        "threadpool.faults_injected",
+        "task attempts aborted by the fault-injection plan");
+    return c;
+}
+
+/** splitmix64: a well-mixed 64-bit hash of (seed, task). */
+std::uint64_t
+mix(std::uint64_t seed, std::uint64_t task)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (task + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Apply ENA_FAULT_INJECT at static-initialization time, mirroring the
+ * telemetry subsystem's env activation: any binary that links the pool
+ * honors the variable without an explicit enable call.
+ */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *env = std::getenv("ENA_FAULT_INJECT");
+        if (!env || !*env)
+            return;
+        Expected<FaultPlan> plan = FaultPlan::parse(env);
+        if (!plan.ok()) {
+            warn("ignoring ENA_FAULT_INJECT: ",
+                 plan.status().message());
+            return;
+        }
+        fault_inject::setFaultPlan(*plan);
+    }
+};
+
+EnvInit env_init;
+
+} // anonymous namespace
+
+bool
+FaultPlan::shouldFault(std::uint64_t task, int attempt) const
+{
+    if (rate <= 0.0 || attempt >= faultsPerTask)
+        return false;
+    // Map the hash onto [0, 1) and compare against the rate; the
+    // decision depends only on (seed, task), never on timing or the
+    // executing thread.
+    double u = static_cast<double>(mix(seed, task) >> 11) /
+               static_cast<double>(1ull << 53);
+    return u < rate;
+}
+
+Expected<FaultPlan>
+FaultPlan::parse(const std::string &text)
+{
+    std::vector<std::string> parts = split(text, ',');
+    if (parts.size() < 2 || parts.size() > 3)
+        return Status::parseError(
+            "fault plan '", text, "': want rate,seed[,faults_per_task]");
+    std::optional<double> rate = parseDouble(parts[0]);
+    if (!rate || !std::isfinite(*rate) || *rate < 0.0 || *rate > 1.0)
+        return Status::parseError("fault plan rate '", parts[0],
+                                  "': want a number in [0, 1]");
+    std::optional<long long> seed = parseInt(parts[1]);
+    if (!seed || *seed < 0)
+        return Status::parseError("fault plan seed '", parts[1],
+                                  "': want a non-negative integer");
+    FaultPlan p;
+    p.rate = *rate;
+    p.seed = static_cast<std::uint64_t>(*seed);
+    if (parts.size() == 3) {
+        std::optional<long long> fpt = parseInt(parts[2]);
+        if (!fpt || *fpt < 1)
+            return Status::parseError("fault plan faults_per_task '",
+                                      parts[2],
+                                      "': want a positive integer");
+        p.faultsPerTask = static_cast<int>(*fpt);
+    }
+    return p;
+}
+
+namespace fault_inject {
+
+namespace detail {
+std::atomic<bool> enabled_{false};
+} // namespace detail
+
+void
+setFaultPlan(const FaultPlan &plan)
+{
+    {
+        std::lock_guard<std::mutex> lk(plan_mutex);
+        active_plan = plan;
+    }
+    detail::enabled_.store(plan.rate > 0.0, std::memory_order_relaxed);
+}
+
+void
+clearFaultPlan()
+{
+    detail::enabled_.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(plan_mutex);
+    active_plan = FaultPlan{};
+}
+
+FaultPlan
+currentPlan()
+{
+    std::lock_guard<std::mutex> lk(plan_mutex);
+    return active_plan;
+}
+
+void
+maybeInject(std::uint64_t task, int attempt)
+{
+    FaultPlan plan;
+    {
+        std::lock_guard<std::mutex> lk(plan_mutex);
+        plan = active_plan;
+    }
+    if (!plan.shouldFault(task, attempt))
+        return;
+    injectedCounter().add();
+    if (telemetry::tracingEnabled()) {
+        telemetry::instant("fault", "inject:task=" +
+                                        std::to_string(task));
+    }
+    throw InjectedFault(task, attempt);
+}
+
+std::uint64_t
+faultsInjected()
+{
+    return injectedCounter().value();
+}
+
+} // namespace fault_inject
+} // namespace ena

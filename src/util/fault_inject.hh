@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fault injection for the ThreadPool task layer.
+ *
+ * A FaultPlan decides — purely from (seed, task index, attempt) — which
+ * parallelFor indices throw an InjectedFault instead of running. The
+ * decision is a hash, not a shared RNG, so the set of faulted tasks is
+ * identical at any thread count and across reruns: a fault-injected
+ * sweep whose tasks are retried must produce results bit-identical to
+ * a fault-free serial run (gated by bench_fault_tolerance).
+ *
+ * By default a task faults only on its first attempts
+ * (attempt < faultsPerTask), so any retry policy with
+ * maxAttempts > faultsPerTask absorbs every injected fault; this is
+ * the transient-fault model. Permanent failures are modeled at the
+ * sweep layer instead (an invalid config throws on every attempt and
+ * gets quarantined).
+ *
+ * Activation: ENA_FAULT_INJECT="rate,seed" in the environment (e.g.
+ * "0.05,42"), or setFaultPlan() programmatically. Injection sites
+ * guard on one relaxed atomic load when disabled.
+ */
+
+#ifndef ENA_UTIL_FAULT_INJECT_HH
+#define ENA_UTIL_FAULT_INJECT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/status.hh"
+
+namespace ena {
+
+/** The exception thrown by an injected fault. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    InjectedFault(std::uint64_t task, int attempt)
+        : std::runtime_error("injected fault at task " +
+                             std::to_string(task) + " attempt " +
+                             std::to_string(attempt)),
+          task_(task), attempt_(attempt)
+    {
+    }
+
+    std::uint64_t task() const { return task_; }
+    int attempt() const { return attempt_; }
+
+  private:
+    std::uint64_t task_;
+    int attempt_;
+};
+
+/** Which tasks fault, decided deterministically per (seed, task). */
+struct FaultPlan
+{
+    double rate = 0.0;       ///< fraction of tasks that fault, [0, 1]
+    std::uint64_t seed = 0;  ///< selects *which* tasks fault
+    int faultsPerTask = 1;   ///< attempts < this fault (transient model)
+
+    /** True if task @p task should throw on attempt @p attempt. */
+    bool shouldFault(std::uint64_t task, int attempt) const;
+
+    /** Parse "rate,seed" or "rate,seed,faults_per_task". */
+    static Expected<FaultPlan> parse(const std::string &text);
+};
+
+namespace fault_inject {
+
+namespace detail {
+extern std::atomic<bool> enabled_;
+} // namespace detail
+
+/** True while a fault plan is active; one relaxed load. */
+inline bool
+enabled()
+{
+    return detail::enabled_.load(std::memory_order_relaxed);
+}
+
+/**
+ * Install @p plan process-wide (rate > 0 enables injection). Call only
+ * while no ThreadPool job is in flight — plans are meant to bracket
+ * whole sweeps, not change mid-job.
+ */
+void setFaultPlan(const FaultPlan &plan);
+
+/** Disable injection. */
+void clearFaultPlan();
+
+/** The active plan (meaningful only while enabled()). */
+FaultPlan currentPlan();
+
+/**
+ * Throw InjectedFault if the active plan selects (task, attempt).
+ * Bumps the threadpool.faults_injected counter and drops a trace
+ * instant so injections are visible in the Chrome timeline.
+ */
+void maybeInject(std::uint64_t task, int attempt);
+
+/** Total faults injected since process start. */
+std::uint64_t faultsInjected();
+
+} // namespace fault_inject
+} // namespace ena
+
+#endif // ENA_UTIL_FAULT_INJECT_HH

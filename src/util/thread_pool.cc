@@ -1,11 +1,15 @@
 #include "util/thread_pool.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
 #include "telemetry/metrics.hh"
 #include "telemetry/telemetry.hh"
+#include "util/fault_inject.hh"
 #include "util/logging.hh"
 
 namespace ena {
@@ -21,6 +25,15 @@ busyUsCounter()
     return c;
 }
 
+telemetry::Counter &
+retriedCounter()
+{
+    static telemetry::Counter &c = telemetry::counter(
+        "threadpool.tasks_retried",
+        "task attempts repeated after a failure under the retry policy");
+    return c;
+}
+
 /**
  * Set while the current thread is executing chunks of a job (worker or
  * participating caller): a nested parallelFor from such a thread runs
@@ -31,10 +44,40 @@ thread_local bool in_task = false;
 std::mutex global_pool_mutex;
 ThreadPool *global_pool = nullptr;
 
+/**
+ * atexit hook: join the workers before process teardown so shutdown is
+ * deterministic (no threads outliving static destructors). Safe even
+ * when the exit originates inside a worker task or a forked child —
+ * the destructor detects both and detaches instead of joining.
+ */
+void
+destroyGlobalPool()
+{
+    std::lock_guard<std::mutex> lk(global_pool_mutex);
+    delete global_pool;
+    global_pool = nullptr;
+}
+
 } // anonymous namespace
 
+RetryPolicy
+RetryPolicy::fromEnvironment()
+{
+    if (const char *env = std::getenv("ENA_TASK_RETRIES")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return RetryPolicy::attempts(
+                static_cast<int>(std::min<long>(v, 100)));
+        warn("ignoring invalid ENA_TASK_RETRIES='", env,
+             "' (want a positive attempt count)");
+    }
+    return RetryPolicy::none();
+}
+
 ThreadPool::ThreadPool(int threads)
-    : numThreads_(threads > 0 ? threads : defaultThreads())
+    : numThreads_(threads > 0 ? threads : defaultThreads()),
+      ownerPid_(static_cast<long>(::getpid()))
 {
     workers_.reserve(numThreads_ - 1);
     for (int i = 0; i < numThreads_ - 1; ++i)
@@ -51,8 +94,18 @@ ThreadPool::~ThreadPool()
         stop_ = true;
     }
     workCv_.notify_all();
-    for (std::thread &t : workers_)
-        t.join();
+    // In a forked child the worker threads only exist in the parent;
+    // joining their std::thread handles would deadlock. Detach the
+    // handles and let the child exit caller-only (gtest death tests).
+    const bool forked = static_cast<long>(::getpid()) != ownerPid_;
+    for (std::thread &t : workers_) {
+        if (!t.joinable())
+            continue;
+        if (forked || t.get_id() == std::this_thread::get_id())
+            t.detach();   // self-join guard: exit from inside a worker
+        else
+            t.join();
+    }
 }
 
 int
@@ -73,13 +126,20 @@ ThreadPool::defaultThreads()
 ThreadPool &
 ThreadPool::global()
 {
-    // Leaked on purpose (still reachable, so no sanitizer report):
-    // never joining at exit means a worker that triggers a fatal exit
-    // can never deadlock on joining itself, and forked children
-    // (death tests) inherit a pool they can drive caller-only.
     std::lock_guard<std::mutex> lk(global_pool_mutex);
-    if (!global_pool)
+    if (!global_pool) {
         global_pool = new ThreadPool();
+        // Registered once: the hook reads the current pointer, so
+        // setGlobalThreads replacements are covered too. Joining at
+        // exit (rather than leaking) keeps worker shutdown
+        // deterministic now that worker tasks report failures as
+        // values/exceptions instead of exiting mid-task.
+        static bool registered = false;
+        if (!registered) {
+            std::atexit(destroyGlobalPool);
+            registered = true;
+        }
+    }
     return *global_pool;
 }
 
@@ -105,14 +165,31 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &fn)
 {
+    parallelFor(n, fn, retry_);
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn,
+                        const RetryPolicy &retry)
+{
     if (n == 0)
         return;
     jobsSubmitted_.fetch_add(1, std::memory_order_relaxed);
     if (numThreads_ <= 1 || n == 1 || in_task) {
+        // Serial/nested fallback: same per-index retry and
+        // lowest-failing-index propagation as the pooled path, so the
+        // failure surfaced is identical at any thread count.
         ENA_SPAN("threadpool", "parallel_for_inline");
+        Job job;
+        job.fn = &fn;
+        job.n = n;
+        job.retry = retry;
         for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+            runTask(job, i);
         tasksExecuted_.fetch_add(n, std::memory_order_relaxed);
+        if (job.error)
+            std::rethrow_exception(job.error);
         return;
     }
 
@@ -126,6 +203,7 @@ ThreadPool::parallelFor(std::size_t n,
     Job job;
     job.fn = &fn;
     job.n = n;
+    job.retry = retry;
     job.chunk = std::max<std::size_t>(
         1, n / (static_cast<std::size_t>(numThreads_) * 4));
 
@@ -152,6 +230,46 @@ ThreadPool::parallelFor(std::size_t n,
         std::rethrow_exception(job.error);
 }
 
+/**
+ * One index, with fault injection, retries, and failure capture. Every
+ * index runs regardless of other indices' failures; the job records
+ * only the lowest failing index, which the join barrier rethrows.
+ */
+void
+ThreadPool::runTask(Job &job, std::size_t index)
+{
+    for (int attempt = 0;; ++attempt) {
+        try {
+            if (fault_inject::enabled())
+                fault_inject::maybeInject(index, attempt);
+            (*job.fn)(index);
+            return;
+        } catch (...) {
+            if (attempt + 1 < job.retry.maxAttempts) {
+                retriedCounter().add();
+                double sleep_us = std::min(
+                    job.retry.backoffUs *
+                        static_cast<double>(1ull << std::min(attempt, 30)),
+                    job.retry.maxBackoffUs);
+                if (sleep_us > 0.0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double, std::micro>(
+                            sleep_us));
+                }
+                continue;
+            }
+            // Attempts exhausted: keep the failure of the lowest index
+            // (ties impossible — one owner per index).
+            std::lock_guard<std::mutex> lk(m_);
+            if (index < job.errorIndex) {
+                job.errorIndex = index;
+                job.error = std::current_exception();
+            }
+            return;
+        }
+    }
+}
+
 void
 ThreadPool::runChunks(Job &job)
 {
@@ -168,16 +286,8 @@ ThreadPool::runChunks(Job &job)
         telemetry::ScopedSpan chunk_span("threadpool", "chunk");
         const bool timed = telemetry::metricsEnabled();
         const double t0 = timed ? telemetry::nowUs() : 0.0;
-        try {
-            for (std::size_t i = begin; i < end; ++i)
-                (*job.fn)(i);
-        } catch (...) {
-            std::lock_guard<std::mutex> lk(m_);
-            if (!job.error)
-                job.error = std::current_exception();
-            // Abandon unclaimed work; chunks already claimed finish.
-            job.next.store(job.n, std::memory_order_relaxed);
-        }
+        for (std::size_t i = begin; i < end; ++i)
+            runTask(job, i);
         tasksExecuted_.fetch_add(end - begin,
                                  std::memory_order_relaxed);
         if (timed) {

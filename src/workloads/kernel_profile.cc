@@ -135,8 +135,8 @@ appName(App app)
     ENA_PANIC("unknown App enum value");
 }
 
-App
-appFromName(const std::string &name)
+Expected<App>
+tryAppFromName(const std::string &name)
 {
     std::string n = toLower(name);
     for (App a : allApps()) {
@@ -146,7 +146,13 @@ appFromName(const std::string &name)
     // Accept the underscore spelling of CoMD-LJ as well.
     if (n == "comd_lj" || n == "comdlj")
         return App::CoMDLJ;
-    ENA_FATAL("unknown application '", name, "'");
+    return Status::invalidArgument("unknown application '", name, "'");
+}
+
+App
+appFromName(const std::string &name)
+{
+    return unwrapOrFatal(tryAppFromName(name));
 }
 
 std::string

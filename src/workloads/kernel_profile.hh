@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace ena {
 
 /** The proxy applications studied by the paper (Table I). */
@@ -45,6 +47,9 @@ const std::vector<App> &allApps();
 
 /** Short display name ("CoMD-LJ"). */
 std::string appName(App app);
+
+/** Parse an application name (case-insensitive). */
+Expected<App> tryAppFromName(const std::string &name);
 
 /** Parse an application name (case-insensitive); fatal() on unknown. */
 App appFromName(const std::string &name);

@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "core/dse.hh"
+#include "core/sweep_journal.hh"
 
 using namespace ena;
 
@@ -129,6 +133,59 @@ TEST(Dse, TableIIRowsCoverEveryApp)
         rows[i].bestConfig.validate();
         rows[i].bestConfigOpt.validate();
     }
+}
+
+TEST(Dse, InvalidGridPointIsQuarantinedNotFatal)
+{
+    DseGrid g = tinyGrid();
+    g.cus.push_back(-64);   // fails NodeConfig::tryValidate
+    DesignSpaceExplorer dse(evaluator(), g, 160.0);
+    auto points = dse.sweep(PowerOptConfig::none(), nullptr);
+    ASSERT_EQ(points.size(), g.size());
+    int quarantined = 0;
+    for (const DsePoint &p : points) {
+        if (p.ok) {
+            EXPECT_TRUE(p.error.empty());
+            EXPECT_GT(p.geomeanFlops, 0.0);
+        } else {
+            ++quarantined;
+            EXPECT_EQ(p.cfg.cus, -64);
+            EXPECT_FALSE(p.feasible);
+            EXPECT_NE(p.error.find("bad CU count"), std::string::npos);
+        }
+    }
+    EXPECT_EQ(quarantined, 4);   // -64 crossed with 2 freqs x 2 bws
+}
+
+TEST(Dse, JournaledSweepResumesWithoutRecomputing)
+{
+    const std::string path = "test_dse_journal.tmp";
+    std::remove(path.c_str());
+    DesignSpaceExplorer dse(evaluator(), tinyGrid(), 160.0);
+    const auto reference = dse.sweep(PowerOptConfig::none(), nullptr);
+
+    {
+        auto j = std::move(SweepJournal::open(path)).value();
+        dse.sweep(PowerOptConfig::none(), j.get());
+        EXPECT_EQ(j->appendedRecords(), reference.size());
+    }
+    auto j = std::move(SweepJournal::open(path)).value();
+    ASSERT_EQ(j->loadedRecords(), reference.size());
+    const auto resumed = dse.sweep(PowerOptConfig::none(), j.get());
+    EXPECT_EQ(j->appendedRecords(), 0u);   // every point replayed
+
+    ASSERT_EQ(resumed.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        // Bitwise equality: the journal stores hexfloats.
+        EXPECT_EQ(resumed[i].geomeanFlops, reference[i].geomeanFlops);
+        EXPECT_EQ(resumed[i].meanBudgetPowerW,
+                  reference[i].meanBudgetPowerW);
+        EXPECT_EQ(resumed[i].maxBudgetPowerW,
+                  reference[i].maxBudgetPowerW);
+        EXPECT_EQ(resumed[i].feasible, reference[i].feasible);
+        EXPECT_EQ(resumed[i].ok, reference[i].ok);
+    }
+    std::remove(path.c_str());
 }
 
 TEST(DseDeathTest, ImpossibleBudgetIsFatal)

@@ -5,7 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "util/config.hh"
+#include "util/logging.hh"
 
 using namespace ena;
 
@@ -86,6 +92,128 @@ TEST(Config, RoundTripThroughToString)
     Config b = Config::fromString(a.toString());
     EXPECT_EQ(b.getInt("x"), 1);
     EXPECT_EQ(b.getString("y"), "hello world");
+}
+
+TEST(Config, DuplicateKeyWarnsOnceAndKeepsTheLastValue)
+{
+    std::vector<std::string> warnings;
+    setLogSink([&](LogLevel, const std::string &line) {
+        warnings.push_back(line);
+    });
+    Config c = Config::fromString(
+        "k = 1\n"
+        "k = 2\n"
+        "k = 3\n"
+        "other = x\n");
+    setLogSink({});
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.getInt("k"), 3);   // last write wins, as before
+    int dup_warnings = 0;
+    for (const std::string &w : warnings)
+        if (w.find("duplicate key 'k'") != std::string::npos)
+            ++dup_warnings;
+    EXPECT_EQ(dup_warnings, 1);   // once per key, not once per repeat
+}
+
+TEST(Config, TryGetReportsMissingKeyAsNotFound)
+{
+    Config c;
+    auto d = c.tryGetDouble("nope");
+    ASSERT_FALSE(d.ok());
+    EXPECT_EQ(d.status().code(), ErrorCode::NotFound);
+    EXPECT_NE(d.status().message().find("'nope'"), std::string::npos);
+    auto s = c.tryGetString("nope");
+    EXPECT_EQ(s.status().code(), ErrorCode::NotFound);
+    auto i = c.tryGetInt("nope");
+    EXPECT_EQ(i.status().code(), ErrorCode::NotFound);
+    auto b = c.tryGetBool("nope");
+    EXPECT_EQ(b.status().code(), ErrorCode::NotFound);
+}
+
+TEST(Config, TryGetDiagnosticsCarryTheKeyOrigin)
+{
+    Config c = unwrapOrFatal(
+        Config::tryFromString("a = 1\nbad = abc\n", "cfg.ini"));
+    EXPECT_EQ(c.origin("bad"), "cfg.ini:2");
+    EXPECT_EQ(c.origin("a"), "cfg.ini:1");
+    auto d = c.tryGetDouble("bad");
+    ASSERT_FALSE(d.ok());
+    EXPECT_EQ(d.status().code(), ErrorCode::ParseError);
+    // The diagnostic points back at the offending file:line.
+    EXPECT_NE(d.status().message().find("(cfg.ini:2)"),
+              std::string::npos);
+    EXPECT_NE(d.status().message().find("'abc'"), std::string::npos);
+}
+
+TEST(Config, TryGetRejectsTrailingGarbageNumerics)
+{
+    Config c = Config::fromString("f = 3.0x\ni = 12abc\n");
+    auto d = c.tryGetDouble("f");
+    ASSERT_FALSE(d.ok());
+    EXPECT_EQ(d.status().code(), ErrorCode::ParseError);
+    auto i = c.tryGetInt("i");
+    ASSERT_FALSE(i.ok());
+    EXPECT_EQ(i.status().code(), ErrorCode::ParseError);
+}
+
+TEST(Config, TryGetRejectsNonFiniteDoubles)
+{
+    Config c = Config::fromString(
+        "a = nan\nb = inf\nc = -inf\nd = 1e999\n");
+    for (const char *key : {"a", "b", "c", "d"}) {
+        auto d = c.tryGetDouble(key);
+        ASSERT_FALSE(d.ok()) << key;
+        EXPECT_EQ(d.status().code(), ErrorCode::OutOfRange) << key;
+        EXPECT_NE(d.status().message().find("not a finite number"),
+                  std::string::npos)
+            << key;
+    }
+}
+
+TEST(Config, TryGetDefaultedStillRejectsPresentButBadValues)
+{
+    Config c = Config::fromString("bad = abc\n");
+    // Absent key -> the default, no error.
+    EXPECT_DOUBLE_EQ(*c.tryGetDouble("missing", 7.0), 7.0);
+    EXPECT_EQ(*c.tryGetInt("missing", 9), 9);
+    // Present-but-malformed value -> still an error, never the default.
+    EXPECT_FALSE(c.tryGetDouble("bad", 7.0).ok());
+    EXPECT_FALSE(c.tryGetInt("bad", 9).ok());
+    EXPECT_FALSE(c.tryGetBool("bad", true).ok());
+}
+
+TEST(Config, TryFromStringReportsParseErrors)
+{
+    auto missing_eq = Config::tryFromString("just a line\n", "f.ini");
+    ASSERT_FALSE(missing_eq.ok());
+    EXPECT_EQ(missing_eq.status().code(), ErrorCode::ParseError);
+    EXPECT_NE(missing_eq.status().message().find("f.ini:1"),
+              std::string::npos);
+
+    auto empty_key = Config::tryFromString("ok = 1\n = v\n", "f.ini");
+    ASSERT_FALSE(empty_key.ok());
+    EXPECT_NE(empty_key.status().message().find("f.ini:2"),
+              std::string::npos);
+}
+
+TEST(Config, TryFromFileReportsIoError)
+{
+    auto e = Config::tryFromFile("no/such/config.ini");
+    ASSERT_FALSE(e.ok());
+    EXPECT_EQ(e.status().code(), ErrorCode::IoError);
+    EXPECT_NE(e.status().message().find("no/such/config.ini"),
+              std::string::npos);
+}
+
+TEST(Config, TryFromFileLoadsAndTracksOrigins)
+{
+    const std::string path = "test_config_origin.tmp";
+    std::ofstream(path) << "x = 5\ny = 2.5\n";
+    auto e = Config::tryFromFile(path);
+    ASSERT_TRUE(e.ok()) << e.status().toString();
+    EXPECT_EQ(*e->tryGetInt("x"), 5);
+    EXPECT_EQ(e->origin("y"), path + ":2");
+    std::remove(path.c_str());
 }
 
 using ConfigDeath = Config;

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for deterministic fault injection: FaultPlan parsing, the
+ * hash-based task-selection contract, the transient-fault attempt
+ * model, and the process-wide enable/disable switch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "util/fault_inject.hh"
+
+using namespace ena;
+
+namespace {
+
+/** RAII guard: no test leaks an active plan into its neighbors. */
+struct PlanGuard
+{
+    ~PlanGuard() { fault_inject::clearFaultPlan(); }
+};
+
+} // anonymous namespace
+
+TEST(FaultPlan, ParseRateAndSeed)
+{
+    auto p = FaultPlan::parse("0.25,42");
+    ASSERT_TRUE(p.ok()) << p.status().toString();
+    EXPECT_DOUBLE_EQ(p->rate, 0.25);
+    EXPECT_EQ(p->seed, 42u);
+    EXPECT_EQ(p->faultsPerTask, 1);
+}
+
+TEST(FaultPlan, ParseOptionalFaultsPerTask)
+{
+    auto p = FaultPlan::parse("0.5,7,3");
+    ASSERT_TRUE(p.ok()) << p.status().toString();
+    EXPECT_DOUBLE_EQ(p->rate, 0.5);
+    EXPECT_EQ(p->seed, 7u);
+    EXPECT_EQ(p->faultsPerTask, 3);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs)
+{
+    EXPECT_FALSE(FaultPlan::parse("").ok());
+    EXPECT_FALSE(FaultPlan::parse("0.5").ok());           // no seed
+    EXPECT_FALSE(FaultPlan::parse("abc,42").ok());        // bad rate
+    EXPECT_FALSE(FaultPlan::parse("0.5,xyz").ok());       // bad seed
+    EXPECT_FALSE(FaultPlan::parse("1.5,42").ok());        // rate > 1
+    EXPECT_FALSE(FaultPlan::parse("-0.1,42").ok());       // rate < 0
+    EXPECT_FALSE(FaultPlan::parse("0.5,42,0").ok());      // faults < 1
+    EXPECT_FALSE(FaultPlan::parse("0.5,42,3,9").ok());    // extra field
+}
+
+TEST(FaultPlan, SelectionIsDeterministicPerSeedAndTask)
+{
+    FaultPlan p;
+    p.rate = 0.3;
+    p.seed = 12345;
+    // Same (seed, task) -> same answer, every time.
+    for (std::uint64_t t = 0; t < 500; ++t) {
+        EXPECT_EQ(p.shouldFault(t, 0), p.shouldFault(t, 0))
+            << "task " << t;
+    }
+}
+
+TEST(FaultPlan, DifferentSeedsSelectDifferentTasks)
+{
+    FaultPlan a, b;
+    a.rate = b.rate = 0.3;
+    a.seed = 1;
+    b.seed = 2;
+    std::set<std::uint64_t> fa, fb;
+    for (std::uint64_t t = 0; t < 1000; ++t) {
+        if (a.shouldFault(t, 0))
+            fa.insert(t);
+        if (b.shouldFault(t, 0))
+            fb.insert(t);
+    }
+    EXPECT_FALSE(fa.empty());
+    EXPECT_FALSE(fb.empty());
+    EXPECT_NE(fa, fb);
+}
+
+TEST(FaultPlan, RateBoundsTheFaultedFraction)
+{
+    FaultPlan p;
+    p.rate = 0.1;
+    p.seed = 99;
+    int faulted = 0;
+    const int n = 10000;
+    for (int t = 0; t < n; ++t)
+        faulted += p.shouldFault(t, 0) ? 1 : 0;
+    // A hash this wide lands close to the nominal rate.
+    EXPECT_GT(faulted, n / 20);       // > 5%
+    EXPECT_LT(faulted, n / 5);        // < 20%
+}
+
+TEST(FaultPlan, ZeroRateNeverFaults)
+{
+    FaultPlan p;   // rate = 0
+    p.seed = 42;
+    for (std::uint64_t t = 0; t < 1000; ++t)
+        EXPECT_FALSE(p.shouldFault(t, 0));
+}
+
+TEST(FaultPlan, TransientModelStopsAfterFaultsPerTask)
+{
+    FaultPlan p;
+    p.rate = 1.0;        // every task faults...
+    p.seed = 5;
+    p.faultsPerTask = 2; // ...on its first two attempts only
+    EXPECT_TRUE(p.shouldFault(17, 0));
+    EXPECT_TRUE(p.shouldFault(17, 1));
+    EXPECT_FALSE(p.shouldFault(17, 2));
+    EXPECT_FALSE(p.shouldFault(17, 3));
+}
+
+TEST(FaultInject, DisabledByDefaultAndCheapToAsk)
+{
+    PlanGuard guard;
+    fault_inject::clearFaultPlan();
+    EXPECT_FALSE(fault_inject::enabled());
+    // maybeInject is a no-op while disabled.
+    EXPECT_NO_THROW(fault_inject::maybeInject(0, 0));
+}
+
+TEST(FaultInject, SetPlanEnablesClearDisables)
+{
+    PlanGuard guard;
+    FaultPlan p;
+    p.rate = 1.0;
+    p.seed = 3;
+    fault_inject::setFaultPlan(p);
+    EXPECT_TRUE(fault_inject::enabled());
+    EXPECT_DOUBLE_EQ(fault_inject::currentPlan().rate, 1.0);
+    EXPECT_EQ(fault_inject::currentPlan().seed, 3u);
+    fault_inject::clearFaultPlan();
+    EXPECT_FALSE(fault_inject::enabled());
+}
+
+TEST(FaultInject, ZeroRatePlanStaysDisabled)
+{
+    PlanGuard guard;
+    FaultPlan p;   // rate = 0
+    fault_inject::setFaultPlan(p);
+    EXPECT_FALSE(fault_inject::enabled());
+}
+
+TEST(FaultInject, MaybeInjectThrowsAndCounts)
+{
+    PlanGuard guard;
+    FaultPlan p;
+    p.rate = 1.0;
+    p.seed = 11;
+    fault_inject::setFaultPlan(p);
+
+    const std::uint64_t before = fault_inject::faultsInjected();
+    try {
+        fault_inject::maybeInject(42, 0);
+        FAIL() << "maybeInject did not throw under rate=1.0";
+    } catch (const InjectedFault &f) {
+        EXPECT_EQ(f.task(), 42u);
+        EXPECT_EQ(f.attempt(), 0);
+    }
+    EXPECT_EQ(fault_inject::faultsInjected(), before + 1);
+
+    // The transient model: the retry attempt sails through.
+    EXPECT_NO_THROW(fault_inject::maybeInject(42, 1));
+    EXPECT_EQ(fault_inject::faultsInjected(), before + 1);
+}

@@ -56,6 +56,42 @@ TEST(NodeConfigIo, RoundTrip)
     EXPECT_TRUE(back.opts.lpLinks);
 }
 
+TEST(NodeConfigIo, TryLoadReportsUnknownKeyWithOrigin)
+{
+    Config cfg = unwrapOrFatal(
+        Config::tryFromString("ehp.cuz = 320\n", "node.ini"));
+    auto n = tryNodeConfigFromConfig(cfg);
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(n.status().message().find("ehp.cuz"), std::string::npos);
+    EXPECT_NE(n.status().message().find("node.ini:1"),
+              std::string::npos);
+}
+
+TEST(NodeConfigIo, TryLoadReportsMalformedValueWithOrigin)
+{
+    Config cfg = unwrapOrFatal(Config::tryFromString(
+        "ehp.cus = 256\nehp.freq_ghz = fast\n", "node.ini"));
+    auto n = tryNodeConfigFromConfig(cfg);
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.status().code(), ErrorCode::ParseError);
+    EXPECT_NE(n.status().message().find("ehp.freq_ghz"),
+              std::string::npos);
+    EXPECT_NE(n.status().message().find("node.ini:2"),
+              std::string::npos);
+    EXPECT_NE(n.status().message().find("'fast'"), std::string::npos);
+}
+
+TEST(NodeConfigIo, TryLoadReportsRangeViolationsAsStatus)
+{
+    Config cfg = Config::fromString("ehp.cus = 0\n");
+    auto n = tryNodeConfigFromConfig(cfg);
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.status().code(), ErrorCode::OutOfRange);
+    EXPECT_NE(n.status().message().find("bad CU count"),
+              std::string::npos);
+}
+
 TEST(NodeConfigIoDeathTest, UnknownKeyIsFatal)
 {
     Config cfg = Config::fromString("ehp.cuz = 320\n");
