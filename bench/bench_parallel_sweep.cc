@@ -8,7 +8,8 @@
  * identical to the single-threaded run (exit code 1 on mismatch), so
  * the CI smoke job exercises the determinism guarantee end-to-end.
  *
- * Usage: bench_parallel_sweep [THREADS]   (default: ENA_THREADS / all)
+ * Usage: bench_parallel_sweep [THREADS] [--json <path>]
+ *   (THREADS default: ENA_THREADS / all)
  */
 
 #include <chrono>
@@ -94,8 +95,10 @@ identical(const DseOutputs &a, const DseOutputs &b)
 int
 main(int argc, char **argv)
 {
-    int threads = argc > 1 ? std::atoi(argv[1])
-                           : ThreadPool::defaultThreads();
+    const std::string json_path = bench::jsonPathFromArgs(argc, argv);
+    int threads = (argc > 1 && argv[1][0] != '-')
+                      ? std::atoi(argv[1])
+                      : ThreadPool::defaultThreads();
     if (threads < 1)
         threads = 1;
     const int repeats = 5;
@@ -137,7 +140,26 @@ main(int argc, char **argv)
         .add(table_speedup, "%.2fx");
     bench::show(t, "parallel_sweep");
 
-    if (!identical(serial, parallel)) {
+    const bool bit_identical = identical(serial, parallel);
+    if (!json_path.empty()) {
+        bench::JsonReport report("parallel_sweep");
+        report.metric("grid_configs",
+                      static_cast<double>(grid.size()));
+        report.metric("apps", static_cast<double>(allApps().size()));
+        report.metric("threads", threads);
+        report.metric("repeats", repeats);
+        report.metric("sweep_serial_ms", serial.sweepSec * 1e3);
+        report.metric("sweep_parallel_ms", parallel.sweepSec * 1e3);
+        report.metric("sweep_speedup", sweep_speedup);
+        report.metric("tableII_serial_ms", serial.tableSec * 1e3);
+        report.metric("tableII_parallel_ms", parallel.tableSec * 1e3);
+        report.metric("tableII_speedup", table_speedup);
+        report.metric("bit_identical", bit_identical ? 1.0 : 0.0);
+        if (!report.writeTo(json_path))
+            return 1;
+    }
+
+    if (!bit_identical) {
         std::cerr << "\nFAIL: parallel results differ from serial "
                      "results\n";
         return 1;

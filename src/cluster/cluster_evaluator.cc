@@ -46,19 +46,22 @@ ClusterEvaluator::evaluate(const NodeConfig &cfg, App app,
     ClusterResult r;
     r.app = app;
     r.spec = spec;
-    r.node = eval_.evaluate(cfg, app);
+    r.node = memo_ ? eval_.evaluateMemo(cfg, app, *memo_)
+                   : eval_.evaluate(cfg, app);
 
     r.comm = CommModel::cost(profileFor(app), spec, net_,
                              r.node.perf.flops);
     r.commEfficiency = r.comm.efficiency();
 
     // The analytic (zero-communication) projection is core's Fig. 14
-    // code path; communication multiplies on top of it, so a zero-cost
-    // spec leaves the numbers bit-for-bit unchanged (x * 1.0 == x,
+    // code path applied to the node result we already hold (same bits
+    // as re-evaluating; see ExascaleProjector's EvalResult overloads);
+    // communication multiplies on top of it, so a zero-cost spec
+    // leaves the numbers bit-for-bit unchanged (x * 1.0 == x,
     // x + 0.0 == x).
-    r.analyticExaflops = proj_.systemExaflops(cfg, app);
+    r.analyticExaflops = proj_.systemExaflops(r.node);
     r.systemExaflops = r.analyticExaflops * r.commEfficiency;
-    r.analyticMw = proj_.systemMw(cfg, app);
+    r.analyticMw = proj_.systemMw(r.node);
 
     // Fabric energy: every byte pays the SerDes+switch cost once per
     // hop. Traffic is the achieved (efficiency-derated) compute rate

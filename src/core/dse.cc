@@ -37,8 +37,20 @@ failedCounter()
 int
 optsBits(const PowerOptConfig &o)
 {
-    return (o.ntc << 0) | (o.asyncCu << 1) | (o.asyncRouter << 2) |
-           (o.lpLinks << 3) | (o.compression << 4);
+    return powerOptBits(o);
+}
+
+/**
+ * Points per batch: large enough that the per-batch term caches
+ * amortize (each batch pays one pow() per distinct axis value it
+ * touches), small enough that every worker gets several batches.
+ */
+std::size_t
+batchChunkSize(std::size_t n, int threads)
+{
+    std::size_t per_thread =
+        n / (static_cast<std::size_t>(threads) * 4);
+    return std::clamp<std::size_t>(per_thread, 32, 4096);
 }
 
 /**
@@ -146,63 +158,119 @@ std::vector<DsePoint>
 DesignSpaceExplorer::sweep(const PowerOptConfig &opts,
                            SweepJournal *journal) const
 {
-    // Each grid point is independent; workers fill their own slots and
-    // no reduction happens here, so the output is identical to the
-    // serial enumeration for any thread count. A bad grid point is
-    // quarantined into its slot rather than killing the sweep, and
-    // with a journal every finished slot is also streamed to disk so a
-    // killed run resumes instead of recomputing.
+    // Two phases. Phase 1 (serial, cheap): replay journaled points and
+    // quarantine invalid configs, collecting the surviving indices.
+    // Phase 2: batched evaluation of the survivors on the ThreadPool —
+    // chunks become NodeConfigBatches sharing the sweep-level memo
+    // cache. Workers fill their own slots and all argmax reductions
+    // happen elsewhere in index order, so the output is identical to
+    // the serial enumeration for any thread count; with a journal
+    // every finished slot also streams to disk so a killed run resumes
+    // instead of recomputing.
     ENA_SPAN("dse", "sweep");
     const double t0 = telemetry::nowUs();
-    auto points = ThreadPool::global().parallelMap(
-        grid_.size(), [&](std::size_t i) {
-            telemetry::ScopedSpan span("dse", "evaluate_config");
-            DsePoint p;
-            p.cfg = configAt(i, opts);
+    const std::size_t n = grid_.size();
+    std::vector<DsePoint> points(n);
+    std::vector<std::string> keys(journal ? n : 0);
 
-            std::string key, payload;
-            if (journal) {
-                key = strformat("dse[%zu]:%s:o%d", i,
+    std::vector<std::size_t> todo;
+    todo.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        DsePoint &p = points[i];
+        p.cfg = configAt(i, opts);
+
+        if (journal) {
+            keys[i] = strformat("dse[%zu]:%s:o%d", i,
                                 p.cfg.label().c_str(), optsBits(opts));
-                if (journal->lookup(key, &payload)) {
-                    DsePoint j = p;
-                    if (decodeDsePoint(payload, &j))
-                        return j;
-                    warn("sweep journal: undecodable payload for '",
-                         key, "'; recomputing");
+            std::string payload;
+            if (journal->lookup(keys[i], &payload)) {
+                DsePoint j = p;
+                if (decodeDsePoint(payload, &j)) {
+                    p = j;
+                    continue;
                 }
+                warn("sweep journal: undecodable payload for '",
+                     keys[i], "'; recomputing");
             }
+        }
 
-            Status valid = p.cfg.tryValidate();
-            if (!valid.ok()) {
-                p.ok = false;
-                p.error = valid.toString();
-                failedCounter().add();
-                warn("DSE: quarantined grid point ", i, " (",
-                     p.cfg.label(), "): ", p.error);
-            } else {
-                try {
-                    p.geomeanFlops = eval_.geomeanFlops(p.cfg);
-                    p.meanBudgetPowerW = eval_.meanBudgetPower(p.cfg);
-                    p.maxBudgetPowerW = eval_.maxBudgetPower(p.cfg);
-                    p.feasible = p.maxBudgetPowerW <= budgetW_;
-                } catch (const std::exception &e) {
-                    p = DsePoint{};
-                    p.cfg = configAt(i, opts);
-                    p.ok = false;
-                    p.error = e.what();
-                    failedCounter().add();
-                    warn("DSE: quarantined grid point ", i, " (",
-                         p.cfg.label(), "): ", p.error);
-                }
-            }
-
+        Status valid = p.cfg.tryValidate();
+        if (!valid.ok()) {
+            p.ok = false;
+            p.error = valid.toString();
+            failedCounter().add();
+            warn("DSE: quarantined grid point ", i, " (",
+                 p.cfg.label(), "): ", p.error);
             if (journal)
-                journal->append(key, encodeDsePoint(p));
-            return p;
+                journal->append(keys[i], encodeDsePoint(p));
+            continue;
+        }
+        todo.push_back(i);
+    }
+
+    if (!todo.empty()) {
+        NodeConfig base;
+        base.opts = opts;
+        const std::size_t chunk =
+            batchChunkSize(todo.size(), ThreadPool::global().threads());
+        const std::size_t num_chunks = (todo.size() + chunk - 1) / chunk;
+        ThreadPool::global().parallelFor(num_chunks, [&](std::size_t c) {
+            telemetry::ScopedSpan span("dse", "evaluate_batch");
+            const std::size_t begin = c * chunk;
+            const std::size_t end =
+                std::min(begin + chunk, todo.size());
+
+            NodeConfigBatch b;
+            b.base = base;
+            b.reserve(end - begin);
+            for (std::size_t j = begin; j < end; ++j) {
+                const NodeConfig &cfg = points[todo[j]].cfg;
+                b.push(cfg.cus, cfg.freqGhz, cfg.bwTbs);
+            }
+
+            try {
+                BatchAggregates agg = eval_.evaluateBatchAll(b, &memo_);
+                for (std::size_t j = begin; j < end; ++j) {
+                    DsePoint &p = points[todo[j]];
+                    p.geomeanFlops = agg.geomeanFlops[j - begin];
+                    p.meanBudgetPowerW = agg.meanBudgetPowerW[j - begin];
+                    p.maxBudgetPowerW = agg.maxBudgetPowerW[j - begin];
+                    p.feasible = p.maxBudgetPowerW <= budgetW_;
+                    if (journal)
+                        journal->append(keys[todo[j]],
+                                        encodeDsePoint(p));
+                }
+            } catch (const std::exception &) {
+                // One bad point poisons a whole batch; fall back to
+                // per-point scalar evaluation so only the offender is
+                // quarantined (same scoring path as the oracle).
+                for (std::size_t j = begin; j < end; ++j) {
+                    DsePoint &p = points[todo[j]];
+                    try {
+                        p.geomeanFlops = eval_.geomeanFlops(p.cfg);
+                        p.meanBudgetPowerW = eval_.meanBudgetPower(p.cfg);
+                        p.maxBudgetPowerW = eval_.maxBudgetPower(p.cfg);
+                        p.feasible = p.maxBudgetPowerW <= budgetW_;
+                    } catch (const std::exception &e) {
+                        std::size_t i = todo[j];
+                        p = DsePoint{};
+                        p.cfg = configAt(i, opts);
+                        p.ok = false;
+                        p.error = e.what();
+                        failedCounter().add();
+                        warn("DSE: quarantined grid point ", i, " (",
+                             p.cfg.label(), "): ", p.error);
+                    }
+                    if (journal)
+                        journal->append(keys[todo[j]],
+                                        encodeDsePoint(p));
+                }
+            }
         });
-    configsCounter().add(grid_.size());
-    publishSweepRate(grid_.size(), t0);
+    }
+
+    configsCounter().add(n);
+    publishSweepRate(n, t0);
     return points;
 }
 
@@ -232,25 +300,38 @@ DesignSpaceExplorer::findBestForApp(App app,
 {
     telemetry::ScopedSpan span(
         "dse", std::string("find_best_for_app:") + appName(app));
-    struct Scored
-    {
-        double flops = 0.0;
-        double budgetPowerW = 0.0;
-    };
-    std::vector<Scored> scores = ThreadPool::global().parallelMap(
-        grid_.size(), [&](std::size_t i) {
-            EvalResult r = eval_.evaluate(configAt(i, opts), app);
-            return Scored{r.perf.flops, r.power.budgetPower()};
-        });
-    configsCounter().add(grid_.size());
+    const std::size_t n = grid_.size();
+    std::vector<double> flops(n), budget(n);
+
+    NodeConfig base;
+    base.opts = opts;
+    const std::size_t chunk =
+        batchChunkSize(n, ThreadPool::global().threads());
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+    ThreadPool::global().parallelFor(num_chunks, [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(begin + chunk, n);
+        NodeConfigBatch b;
+        b.base = base;
+        b.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            NodeConfig cfg = configAt(i, opts);
+            b.push(cfg.cus, cfg.freqGhz, cfg.bwTbs);
+        }
+        BatchEvalResult r = eval_.evaluateBatch(b, app, &memo_);
+        for (std::size_t i = begin; i < end; ++i) {
+            flops[i] = r.flops[i - begin];
+            budget[i] = r.budgetPowerW[i - begin];
+        }
+    });
+    configsCounter().add(n);
 
     std::optional<AppBest> best;
-    for (std::size_t i = 0; i < scores.size(); ++i) {
-        if (scores[i].budgetPowerW > budgetW_)
+    for (std::size_t i = 0; i < n; ++i) {
+        if (budget[i] > budgetW_)
             continue;
-        if (!best || scores[i].flops > best->flops) {
-            best = AppBest{configAt(i, opts), scores[i].flops,
-                           scores[i].budgetPowerW};
+        if (!best || flops[i] > best->flops) {
+            best = AppBest{configAt(i, opts), flops[i], budget[i]};
         }
     }
     if (!best)

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/node_config.hh"
+#include "core/eval_memo.hh"
 #include "core/node_evaluator.hh"
 #include "core/sweep_journal.hh"
 #include "workloads/kernel_profile.hh"
@@ -92,6 +93,13 @@ struct TableIIRow
  * are deterministic and identical to a single-threaded run because
  * every grid point is scored independently into its own slot and all
  * argmax reductions happen on the caller in grid-enumeration order.
+ *
+ * Grid points are scored through NodeEvaluator::evaluateBatch —
+ * ThreadPool chunks become batches — with a sweep-level EvalMemoCache
+ * shared across sweeps and searches of the same explorer: repeated
+ * evaluations of a (config, app) pair (tableII's per-app searches,
+ * repeated sweeps) are served from the cache, which is bit-identical
+ * to recomputation by construction (see core/eval_memo.hh).
  */
 class DesignSpaceExplorer
 {
@@ -131,6 +139,9 @@ class DesignSpaceExplorer
 
     const DseGrid &grid() const { return grid_; }
 
+    /** The sweep-level memo cache (telemetry: dse.memo_hits/_misses). */
+    const EvalMemoCache &memoCache() const { return memo_; }
+
   private:
     /** The grid point at flat index i (row-major over cus/freq/bw). */
     NodeConfig configAt(std::size_t index,
@@ -139,6 +150,7 @@ class DesignSpaceExplorer
     const NodeEvaluator &eval_;
     DseGrid grid_;
     double budgetW_;
+    mutable EvalMemoCache memo_;
 };
 
 } // namespace ena

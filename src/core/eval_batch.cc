@@ -1,0 +1,218 @@
+/**
+ * @file
+ * NodeEvaluator's batch hot path (see core/eval_batch.hh).
+ *
+ * Layering: the scalar evaluate() in node_evaluator.cc is the
+ * reference oracle; everything here reuses the identical inline term
+ * functions (core/perf_terms.hh, power/power_terms.hh), adding only
+ * per-batch term caches and the sweep-level EvalMemoCache — both of
+ * which return previously computed doubles for exactly-equal inputs,
+ * so the batch results match the oracle bit for bit.
+ */
+
+#include <algorithm>
+
+#include "core/eval_memo.hh"
+#include "core/node_evaluator.hh"
+#include "core/perf_terms.hh"
+#include "power/power_terms.hh"
+#include "telemetry/metrics.hh"
+#include "util/memo.hh"
+#include "util/stats_math.hh"
+
+namespace ena {
+
+namespace {
+
+telemetry::Counter &
+evalsCounter()
+{
+    static telemetry::Counter &c = telemetry::counter(
+        "node.evaluations",
+        "(config, application) pairs evaluated by NodeEvaluator");
+    return c;
+}
+
+telemetry::Histogram &
+batchSizeHistogram()
+{
+    static telemetry::Histogram &h = telemetry::histogram(
+        "dse.batch_size", "points per NodeEvaluator::evaluateBatch call",
+        1.0, 2.0, 16);
+    return h;
+}
+
+} // anonymous namespace
+
+EvalResult
+NodeEvaluator::evaluateMemo(const NodeConfig &cfg, App app,
+                            EvalMemoCache &memo) const
+{
+    evalsCounter().add();
+
+    EvalResult r;
+    r.app = app;
+    PerfMemoKey pk = perfMemoKey(app, cfg.cus, cfg.freqGhz, cfg.bwTbs);
+    if (!memo.findPerf(pk, &r.perf)) {
+        r.perf = perfModel_.evaluate(cfg, profileFor(app));
+        memo.storePerf(pk, r.perf);
+    }
+    PowerMemoKey wk = powerMemoKey(app, cfg);
+    if (!memo.findPower(wk, &r.power)) {
+        r.power = powerModel_.evaluate(cfg, r.perf.activity);
+        memo.storePower(wk, r.power);
+    }
+    return r;
+}
+
+BatchEvalResult
+NodeEvaluator::evaluateBatch(const NodeConfigBatch &batch, App app,
+                             EvalMemoCache *memo) const
+{
+    const std::size_t n = batch.size();
+    BatchEvalResult out;
+    out.app = app;
+    out.flops.resize(n);
+    out.budgetPowerW.resize(n);
+    out.packagePowerW.resize(n);
+    out.totalPowerW.resize(n);
+    if (n == 0)
+        return out;
+
+    // The shared fields are validated once; the three per-point knobs
+    // are range-checked in the loop (the cold path materializes the
+    // config to die with the standard validate() diagnostic).
+    batch.base.validate();
+    evalsCounter().add(n);
+    batchSizeHistogram().sample(static_cast<double>(n));
+
+    const KernelProfile &k = profileFor(app);
+    const NodeConfig &base = batch.base;
+    const bool ntc = base.opts.ntc;
+    const VfCurve &vf_curve = powerModel_.vfCurve();
+    const power_terms::ExtStatic ext_static =
+        power_terms::extStaticW(base.ext);
+
+    // Per-batch caches for the pow()-heavy terms, keyed by the exact
+    // bit pattern of the one knob each term reads: a sweep touches
+    // only a handful of distinct values per axis, so almost every
+    // point reuses previously computed factors (bit-identical by
+    // construction — same inputs, same double).
+    TermCache cu_scale_c, f_scale_c, usable_c, pow_compute_c;
+    TermCache vf_dyn_c, vf_stat_c, hbm_static_c;
+
+    // Memo keys: the per-batch constants are filled once, the three
+    // knobs patched per point.
+    PerfMemoKey pkey = perfMemoKey(app, 0, 0.0, 0.0);
+    PowerMemoKey wkey = powerMemoKey(app, base);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const int cus = batch.cus[i];
+        const double f = batch.freqsGhz[i];
+        const double bw = batch.bwsTbs[i];
+        if (cus <= 0 || cus > 4096 || f <= 0.0 || f > 10.0 ||
+            bw <= 0.0 || bw > 100.0) {
+            batch.at(i).validate();
+        }
+
+        PerfResult perf;
+        bool have_perf = false;
+        if (memo) {
+            pkey.cus = cus;
+            pkey.freqBits = bitsOf(f);
+            pkey.bwBits = bitsOf(bw);
+            have_perf = memo->findPerf(pkey, &perf);
+        }
+        if (!have_perf) {
+            double cu_scale = cu_scale_c.getOrCompute(
+                static_cast<std::uint32_t>(cus),
+                [&] { return perf_terms::cuScale(cus, k); });
+            double f_scale = f_scale_c.getOrCompute(
+                bitsOf(f), [&] { return perf_terms::freqScale(f, k); });
+            double usable = usable_c.getOrCompute(bitsOf(bw), [&] {
+                return perf_terms::usableBandwidthGbs(bw, k);
+            });
+            // The compute roofline (and its smooth-min pow) depends
+            // only on (cus, freq): cache it across the bandwidth axis,
+            // keyed by the rate's own bit pattern.
+            double peak = perf_terms::peakFlops(cus, f);
+            double compute_rate =
+                perf_terms::computeRate(peak, k, cu_scale, f_scale);
+            double pow_compute = pow_compute_c.getOrCompute(
+                bitsOf(compute_rate),
+                [&] { return perf_terms::rooflinePow(compute_rate); });
+            perf = perf_terms::evaluatePerfPre(cus, f, bw, k, peak,
+                                               compute_rate, pow_compute,
+                                               usable);
+            if (memo)
+                memo->storePerf(pkey, perf);
+        }
+
+        PowerBreakdown power;
+        bool have_power = false;
+        if (memo) {
+            wkey.cus = cus;
+            wkey.freqBits = bitsOf(f);
+            wkey.bwBits = bitsOf(bw);
+            have_power = memo->findPower(wkey, &power);
+        }
+        if (!have_power) {
+            power_terms::VfScales vf;
+            vf.dyn = vf_dyn_c.getOrCompute(
+                bitsOf(f), [&] { return vf_curve.dynScale(f, ntc); });
+            vf.stat = vf_stat_c.getOrCompute(
+                bitsOf(f), [&] { return vf_curve.staticScale(f, ntc); });
+            double hbm_static = hbm_static_c.getOrCompute(bitsOf(bw), [&] {
+                return power_terms::hbmStaticW(bw, base.gpuChiplets);
+            });
+            power = power_terms::evaluatePower(cus, f, base.opts,
+                                               base.ext, perf.activity,
+                                               vf, hbm_static,
+                                               ext_static);
+            if (memo)
+                memo->storePower(wkey, power);
+        }
+
+        out.flops[i] = perf.flops;
+        out.budgetPowerW[i] = power.budgetPower();
+        out.packagePowerW[i] = power.packagePower();
+        out.totalPowerW[i] = power.total();
+    }
+    return out;
+}
+
+BatchAggregates
+NodeEvaluator::evaluateBatchAll(const NodeConfigBatch &batch,
+                                EvalMemoCache *memo) const
+{
+    const std::size_t n = batch.size();
+    const std::vector<App> &apps = allApps();
+
+    std::vector<BatchEvalResult> per_app;
+    per_app.reserve(apps.size());
+    for (App app : apps)
+        per_app.push_back(evaluateBatch(batch, app, memo));
+
+    // Assemble per-point aggregates with the exact fold the scalar
+    // helpers use: geomean/mean over allApps() order, max from 0.0.
+    BatchAggregates agg;
+    agg.geomeanFlops.resize(n);
+    agg.meanBudgetPowerW.resize(n);
+    agg.maxBudgetPowerW.resize(n);
+    std::vector<double> tmp(apps.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            tmp[a] = per_app[a].flops[i];
+        agg.geomeanFlops[i] = geomean(tmp);
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            tmp[a] = per_app[a].budgetPowerW[i];
+        agg.meanBudgetPowerW[i] = mean(tmp);
+        double worst = 0.0;
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            worst = std::max(worst, per_app[a].budgetPowerW[i]);
+        agg.maxBudgetPowerW[i] = worst;
+    }
+    return agg;
+}
+
+} // namespace ena

@@ -10,11 +10,14 @@
 #include <vector>
 
 #include "common/node_config.hh"
+#include "core/eval_batch.hh"
 #include "core/perf_model.hh"
 #include "power/node_power.hh"
 #include "workloads/kernel_profile.hh"
 
 namespace ena {
+
+class EvalMemoCache;
 
 /** Perf and power of one (config, application) pair. */
 struct EvalResult
@@ -34,6 +37,31 @@ class NodeEvaluator
 
     /** Evaluate one application on one configuration. */
     EvalResult evaluate(const NodeConfig &cfg, App app) const;
+
+    /**
+     * Scalar evaluation through a sweep-level memo cache: identical
+     * bits to evaluate() (hits return previously computed results,
+     * misses compute through the same models and remember them).
+     */
+    EvalResult evaluateMemo(const NodeConfig &cfg, App app,
+                            EvalMemoCache &memo) const;
+
+    /**
+     * Batch hot path: score every point of @p batch for one
+     * application. Bit-identical to calling evaluate() per point (the
+     * scalar path is the reference oracle). @p memo, when given, is a
+     * sweep-level cache shared across batches and threads.
+     */
+    BatchEvalResult evaluateBatch(const NodeConfigBatch &batch, App app,
+                                  EvalMemoCache *memo = nullptr) const;
+
+    /**
+     * Score every point of @p batch across all Table I applications
+     * and assemble the DSE aggregates; element i is bit-identical to
+     * geomeanFlops/meanBudgetPower/maxBudgetPower of batch.at(i).
+     */
+    BatchAggregates evaluateBatchAll(const NodeConfigBatch &batch,
+                                     EvalMemoCache *memo = nullptr) const;
 
     /** Evaluate every Table I application on one configuration. */
     std::vector<EvalResult> evaluateAll(const NodeConfig &cfg) const;

@@ -4,41 +4,26 @@
 #include <cmath>
 
 #include "common/calibration.hh"
+#include "core/perf_terms.hh"
 #include "util/logging.hh"
 #include "util/stats_math.hh"
 #include "util/units.hh"
 
 namespace ena {
 
-namespace {
-
-/** Reference point for the scaling-taxonomy exponents. */
-constexpr double refCus = 320.0;
-constexpr double refGhz = 1.0;
-
-/** Smooth-min norm: gives the rounded roofline knees of Figs. 4-6. */
-constexpr double rooflineNorm = 8.0;
-
-/** NoC traffic amplification over DRAM traffic (coherence, replies). */
-constexpr double nocAmplification = 1.2;
-
-} // anonymous namespace
-
 double
 PerfModel::peakFlops(const NodeConfig &cfg)
 {
-    return cfg.cus * cfg.freqGhz * units::giga * cal::flopsPerCuClk;
+    return perf_terms::peakFlops(cfg.cus, cfg.freqGhz);
 }
 
 double
 PerfModel::computeRate(const NodeConfig &cfg, const KernelProfile &k)
 {
     double peak = peakFlops(cfg);
-    double cu_scale =
-        std::pow(cfg.cus / refCus, k.cuScalingExp - 1.0);
-    double f_scale =
-        std::pow(cfg.freqGhz / refGhz, k.freqScalingExp - 1.0);
-    return peak * k.computeEfficiency * cu_scale * f_scale;
+    double cu_scale = perf_terms::cuScale(cfg.cus, k);
+    double f_scale = perf_terms::freqScale(cfg.freqGhz, k);
+    return perf_terms::computeRate(peak, k, cu_scale, f_scale);
 }
 
 double
@@ -50,19 +35,15 @@ PerfModel::contendedBandwidthGbs(const NodeConfig &cfg,
     // provisioned bandwidth beyond the kernel's saturation point does
     // not relieve it, but reducing CU-count x frequency does (this is
     // what makes Table II's memory-intensive optima pick fewer CUs).
-    double usable = std::min(cfg.bwTbs, k.maxBandwidthTbs) * 1000.0;
-    double opb_eff = cfg.cus * cfg.freqGhz / usable;
-    double over = std::max(0.0, opb_eff - k.contentionKnee);
-    double factor = 1.0 + k.contentionAlpha * over * over;
-    // Thrash saturates: a fully congested memory system still moves a
-    // fraction of its bandwidth (row-buffer and MSHR recycling).
-    return usable / std::min(factor, cal::maxContentionFactor);
+    double usable = perf_terms::usableBandwidthGbs(cfg.bwTbs, k);
+    return perf_terms::contendedBandwidthGbs(cfg.cus, cfg.freqGhz,
+                                             usable, k);
 }
 
 double
 PerfModel::memoryRate(double eff_bw_gbs, const KernelProfile &k)
 {
-    return eff_bw_gbs * units::giga * k.arithmeticIntensity;
+    return perf_terms::memoryRate(eff_bw_gbs, k);
 }
 
 double
@@ -81,20 +62,7 @@ Activity
 PerfModel::makeActivity(const NodeConfig &cfg, const KernelProfile &k,
                         double flops, double peak) const
 {
-    Activity a;
-    a.cuUtilization = clamp(flops / peak, 0.0, 1.0);
-    a.cuIdleActivity = k.cuIdleActivity;
-    double traffic_gbs =
-        std::min(flops / k.arithmeticIntensity / units::giga,
-                 cfg.bwTbs * 1000.0);
-    a.inPkgTrafficGbs = traffic_gbs;
-    a.extTrafficGbs = k.extTrafficFraction * traffic_gbs;
-    a.nocTrafficGbs = traffic_gbs * nocAmplification *
-                      (1.0 + 0.5 * k.sharedFraction);
-    a.writeFraction = k.writeFraction;
-    a.compressRatio = k.compressRatio;
-    a.cpuActivity = 0.25;
-    return a;
+    return perf_terms::makeActivity(cfg.bwTbs, k, flops, peak);
 }
 
 PerfResult
@@ -102,24 +70,15 @@ PerfModel::evaluate(const NodeConfig &cfg, const KernelProfile &k) const
 {
     cfg.validate();
 
-    PerfResult r;
-    r.peakFlops = peakFlops(cfg);
-    r.opsPerByte = cfg.opsPerByte();
-    r.computeRate = computeRate(cfg, k);
-
-    // contendedBandwidthGbs() already folds in the kernel's
-    // sustainable-traffic ceiling (Figs. 4-6: curves cluster once
-    // provisioned bandwidth exceeds it).
-    double eff_bw = contendedBandwidthGbs(cfg, k);
-    r.memoryRate = memoryRate(eff_bw, k);
-
-    r.flops = smoothMin(r.computeRate, r.memoryRate, rooflineNorm);
-    r.memoryBound = r.memoryRate < r.computeRate;
-    r.trafficGbs =
-        std::min(r.flops / k.arithmeticIntensity / units::giga,
-                 cfg.bwTbs * 1000.0);
-    r.activity = makeActivity(cfg, k, r.flops, r.peakFlops);
-    return r;
+    // The whole evaluation lives in perf_terms::evaluatePerf so the
+    // batch path (core/eval_batch.cc) runs the identical operation
+    // sequence; the scale factors and the usable-bandwidth term are
+    // precomputed here exactly as the batch path's term caches would.
+    double cu_scale = perf_terms::cuScale(cfg.cus, k);
+    double f_scale = perf_terms::freqScale(cfg.freqGhz, k);
+    double usable = perf_terms::usableBandwidthGbs(cfg.bwTbs, k);
+    return perf_terms::evaluatePerf(cfg.cus, cfg.freqGhz, cfg.bwTbs, k,
+                                    cu_scale, f_scale, usable);
 }
 
 double
@@ -147,7 +106,7 @@ PerfModel::evaluateWithMissRate(const NodeConfig &cfg,
     double eff_bw = 1.0 / inv;
     double m = memoryRate(eff_bw, k);
 
-    return smoothMin(c, m, rooflineNorm);
+    return smoothMin(c, m, perf_terms::rooflineNorm);
 }
 
 } // namespace ena

@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "core/eval_memo.hh"
 #include "core/node_evaluator.hh"
 #include "workloads/kernel_profile.hh"
 
@@ -84,6 +85,8 @@ class ReconfigGovernor
 
     const NodeEvaluator &eval_;
     GovernorParams params_;
+    /** Dedupes per-phase decide() sweeps across repeated kernels. */
+    mutable EvalMemoCache memo_;
 };
 
 } // namespace ena

@@ -25,26 +25,29 @@ std::vector<OpbCurve>
 OpbSweepStudy::sweepFrequency(App app, const std::vector<double> &bws,
                               const std::vector<double> &freqs) const
 {
-    double base = eval_.evaluate(bestMean_, app).perf.flops;
-    // Flatten (bw, freq) into one parallel sweep, then reassemble the
-    // per-bandwidth curves in order.
+    // One batch over the flattened (bw, freq) cross product; the whole
+    // sweep shares this study's memo cache, so the base config and any
+    // repeated (knob, app) pairs are never re-evaluated.
+    double base = eval_.evaluateMemo(bestMean_, app, memo_).perf.flops;
     const std::size_t nf = freqs.size();
-    std::vector<OpbPoint> pts = ThreadPool::global().parallelMap(
-        bws.size() * nf, [&](std::size_t i) {
-            NodeConfig cfg = bestMean_;
-            cfg.bwTbs = bws[i / nf];
-            cfg.freqGhz = freqs[i % nf];
-            OpbPoint p;
-            p.cfg = cfg;
-            p.opsPerByte = cfg.opsPerByte();
-            p.normPerf = eval_.evaluate(cfg, app).perf.flops / base;
-            return p;
-        });
+    NodeConfigBatch b;
+    b.base = bestMean_;
+    b.reserve(bws.size() * nf);
+    for (std::size_t i = 0; i < bws.size() * nf; ++i)
+        b.push(bestMean_.cus, freqs[i % nf], bws[i / nf]);
+    BatchEvalResult r = eval_.evaluateBatch(b, app, &memo_);
+
     std::vector<OpbCurve> curves(bws.size());
-    for (std::size_t b = 0; b < bws.size(); ++b) {
-        curves[b].bwTbs = bws[b];
-        curves[b].points.assign(pts.begin() + b * nf,
-                                pts.begin() + (b + 1) * nf);
+    for (std::size_t c = 0; c < bws.size(); ++c) {
+        curves[c].bwTbs = bws[c];
+        curves[c].points.resize(nf);
+        for (std::size_t f = 0; f < nf; ++f) {
+            std::size_t i = c * nf + f;
+            OpbPoint &p = curves[c].points[f];
+            p.cfg = b.at(i);
+            p.opsPerByte = p.cfg.opsPerByte();
+            p.normPerf = r.flops[i] / base;
+        }
     }
     return curves;
 }
@@ -53,24 +56,26 @@ std::vector<OpbCurve>
 OpbSweepStudy::sweepCuCount(App app, const std::vector<double> &bws,
                             const std::vector<int> &cus) const
 {
-    double base = eval_.evaluate(bestMean_, app).perf.flops;
+    double base = eval_.evaluateMemo(bestMean_, app, memo_).perf.flops;
     const std::size_t nc = cus.size();
-    std::vector<OpbPoint> pts = ThreadPool::global().parallelMap(
-        bws.size() * nc, [&](std::size_t i) {
-            NodeConfig cfg = bestMean_;
-            cfg.bwTbs = bws[i / nc];
-            cfg.cus = cus[i % nc];
-            OpbPoint p;
-            p.cfg = cfg;
-            p.opsPerByte = cfg.opsPerByte();
-            p.normPerf = eval_.evaluate(cfg, app).perf.flops / base;
-            return p;
-        });
+    NodeConfigBatch b;
+    b.base = bestMean_;
+    b.reserve(bws.size() * nc);
+    for (std::size_t i = 0; i < bws.size() * nc; ++i)
+        b.push(cus[i % nc], bestMean_.freqGhz, bws[i / nc]);
+    BatchEvalResult r = eval_.evaluateBatch(b, app, &memo_);
+
     std::vector<OpbCurve> curves(bws.size());
-    for (std::size_t b = 0; b < bws.size(); ++b) {
-        curves[b].bwTbs = bws[b];
-        curves[b].points.assign(pts.begin() + b * nc,
-                                pts.begin() + (b + 1) * nc);
+    for (std::size_t c = 0; c < bws.size(); ++c) {
+        curves[c].bwTbs = bws[c];
+        curves[c].points.resize(nc);
+        for (std::size_t u = 0; u < nc; ++u) {
+            std::size_t i = c * nc + u;
+            OpbPoint &p = curves[c].points[u];
+            p.cfg = b.at(i);
+            p.opsPerByte = p.cfg.opsPerByte();
+            p.normPerf = r.flops[i] / base;
+        }
     }
     return curves;
 }
@@ -191,30 +196,37 @@ ExascaleProjector::ExascaleProjector(const NodeEvaluator &eval, int nodes)
 double
 ExascaleProjector::systemExaflops(const NodeConfig &cfg, App app) const
 {
-    return eval_.evaluate(cfg, app).perf.flops * nodes_ / 1e18;
+    // The memo dedupes repeated projections of the same (cfg, app) —
+    // cluster sweeps project every topology cell from one node config.
+    return systemExaflops(eval_.evaluateMemo(cfg, app, memo_));
 }
 
 double
 ExascaleProjector::systemMw(const NodeConfig &cfg, App app) const
 {
-    return eval_.evaluate(cfg, app).power.packagePower() * nodes_ / 1e6;
+    return systemMw(eval_.evaluateMemo(cfg, app, memo_));
 }
 
 std::vector<ExascalePoint>
 ExascaleProjector::sweepCus(const std::vector<int> &cus) const
 {
-    return ThreadPool::global().parallelMap(
-        cus.size(), [&](std::size_t i) {
-            NodeConfig cfg;
-            cfg.cus = cus[i];
-            cfg.freqGhz = 1.0;
-            cfg.bwTbs = 1.0;
-            ExascalePoint p;
-            p.cus = cus[i];
-            p.systemExaflops = systemExaflops(cfg, App::MaxFlops);
-            p.systemMw = systemMw(cfg, App::MaxFlops);
-            return p;
-        });
+    NodeConfig base;
+    base.freqGhz = 1.0;
+    base.bwTbs = 1.0;
+    NodeConfigBatch b;
+    b.base = base;
+    b.reserve(cus.size());
+    for (int c : cus)
+        b.push(c, base.freqGhz, base.bwTbs);
+    BatchEvalResult r = eval_.evaluateBatch(b, App::MaxFlops, &memo_);
+
+    std::vector<ExascalePoint> out(cus.size());
+    for (std::size_t i = 0; i < cus.size(); ++i) {
+        out[i].cus = cus[i];
+        out[i].systemExaflops = r.flops[i] * nodes_ / 1e18;
+        out[i].systemMw = r.packagePowerW[i] * nodes_ / 1e6;
+    }
+    return out;
 }
 
 } // namespace ena

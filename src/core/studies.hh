@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/node_config.hh"
+#include "core/eval_memo.hh"
 #include "core/node_evaluator.hh"
 #include "workloads/kernel_profile.hh"
 
@@ -67,6 +68,7 @@ class OpbSweepStudy
   private:
     const NodeEvaluator &eval_;
     NodeConfig bestMean_;
+    mutable EvalMemoCache memo_;   ///< shared across this study's sweeps
 };
 
 // --------------------------------------------------------------------
@@ -182,11 +184,30 @@ class ExascaleProjector
     /** One node config + app -> system megawatts (package scope). */
     double systemMw(const NodeConfig &cfg, App app) const;
 
+    /**
+     * Projection from an already-evaluated node result: lets callers
+     * holding an EvalResult (e.g. ClusterEvaluator) project without a
+     * redundant node evaluation; identical bits to the (cfg, app)
+     * overloads for the matching result.
+     */
+    double
+    systemExaflops(const EvalResult &r) const
+    {
+        return r.perf.flops * nodes_ / 1e18;
+    }
+
+    double
+    systemMw(const EvalResult &r) const
+    {
+        return r.power.packagePower() * nodes_ / 1e6;
+    }
+
     int nodes() const { return nodes_; }
 
   private:
     const NodeEvaluator &eval_;
     int nodes_;
+    mutable EvalMemoCache memo_;   ///< dedupes repeated projections
 };
 
 } // namespace ena

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/calibration.hh"
+#include "power/power_terms.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -49,81 +50,19 @@ PowerBreakdown
 NodePowerModel::evaluate(const NodeConfig &cfg, const Activity &act) const
 {
     cfg.validate();
-    const PowerOptConfig &opt = cfg.opts;
-    PowerBreakdown p;
 
-    // ---- GPU compute units ------------------------------------------
-    double dyn_scale = vf_.dynScale(cfg.freqGhz, opt.ntc);
-    double stat_scale = vf_.staticScale(cfg.freqGhz, opt.ntc);
-
-    p.cuDyn = cal::cuDynWPerGhz * cfg.cus * cfg.freqGhz * dyn_scale *
-              act.cuActivity();
-    if (opt.asyncCu)
-        p.cuDyn *= cal::asyncCuDynFactor;
-    p.cuStatic = cal::cuLeakW * cfg.cus * stat_scale;
-
-    // ---- Interposer network ------------------------------------------
-    // Compression shrinks the LLC<->memory share of NoC traffic by the
-    // application's compressibility.
-    double noc_traffic = act.nocTrafficGbs;
-    if (opt.compression && act.compressRatio > 1.0) {
-        double c = cal::nocLlcMemShare;
-        noc_traffic *= (1.0 - c) + c / act.compressRatio;
-    }
-    double noc_dyn = units::powerFromEventRate(
-        noc_traffic * units::giga, cal::nocPjPerByte);
-    double router_dyn = noc_dyn * cal::nocRouterShare;
-    double link_dyn = noc_dyn * cal::linkShareOfNoc;
-    double noc_static = cal::nocStaticW;
-    if (opt.asyncRouter) {
-        router_dyn *= cal::asyncRouterDynFactor;
-        noc_static *= cal::asyncRouterStaticFactor;
-    }
-    if (opt.lpLinks)
-        link_dyn *= cal::lpLinkDynFactor;
-    p.nocDyn = router_dyn + link_dyn;
-    p.nocStatic = noc_static;
-
-    // ---- In-package 3D DRAM ------------------------------------------
-    double hbm_traffic = act.inPkgTrafficGbs;
-    if (opt.compression && act.compressRatio > 1.0) {
-        // Compressed lines also cross the DRAM interface packed.
-        double c = cal::nocLlcMemShare;
-        hbm_traffic *= (1.0 - c) + c / act.compressRatio;
-    }
-    p.hbmDyn = units::powerFromEventRate(hbm_traffic * units::giga,
-                                         cal::hbmPjPerByte);
-    p.hbmStatic = cal::hbmStackStaticW * cfg.gpuChiplets +
-                  cal::hbmBwStaticCoef *
-                      std::pow(cfg.bwTbs, cal::hbmBwStaticExp);
-
-    // ---- CPU cluster + system ----------------------------------------
-    p.cpu = cal::cpuStaticW + cal::cpuMaxDynW * act.cpuActivity;
-    p.sys = cal::sysStaticW;
-
-    // ---- External memory network --------------------------------------
-    const ExtMemConfig &ext = cfg.ext;
-    p.extMemStatic = cal::extDramStaticWPerGb * ext.dramGb +
-                     cal::extNvmStaticWPerGb * ext.nvmGb;
-    p.serdesStatic = cal::serdesLinkStaticW * ext.totalModules();
-
-    double ext_traffic =
-        std::min(act.extTrafficGbs, ext.aggregateGbs()) * units::giga;
-    // Traffic splits across DRAM and NVM in proportion to capacity
-    // (address-interleaved placement).
-    double nvm_frac =
-        ext.totalGb() > 0.0 ? ext.nvmGb / ext.totalGb() : 0.0;
-    double dram_traffic = ext_traffic * (1.0 - nvm_frac);
-    double nvm_traffic = ext_traffic * nvm_frac;
-    double nvm_pj = cal::nvmReadPjPerByte * (1.0 - act.writeFraction) +
-                    cal::nvmWritePjPerByte * act.writeFraction;
-    p.extMemDyn =
-        units::powerFromEventRate(dram_traffic, cal::extDramPjPerByte) +
-        units::powerFromEventRate(nvm_traffic, nvm_pj);
-    p.serdesDyn =
-        units::powerFromEventRate(ext_traffic, cal::serdesPjPerByte);
-
-    return p;
+    // The whole evaluation lives in power_terms::evaluatePower so the
+    // batch path (core/eval_batch.cc) runs the identical operation
+    // sequence; the VF scales and the static terms are precomputed
+    // here exactly as the batch path's term caches would.
+    power_terms::VfScales vf =
+        power_terms::vfScales(vf_, cfg.freqGhz, cfg.opts.ntc);
+    double hbm_static =
+        power_terms::hbmStaticW(cfg.bwTbs, cfg.gpuChiplets);
+    power_terms::ExtStatic ext_static = power_terms::extStaticW(cfg.ext);
+    return power_terms::evaluatePower(cfg.cus, cfg.freqGhz, cfg.opts,
+                                      cfg.ext, act, vf, hbm_static,
+                                      ext_static);
 }
 
 } // namespace ena

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * EvalMemoCache: hit/miss accounting (member counters and the
+ * dse.memo_hits / dse.memo_misses telemetry), content addressing
+ * (perf results shared across power-opt settings), eviction
+ * correctness, and bit-identity of memoized results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dse.hh"
+#include "core/eval_memo.hh"
+#include "core/node_evaluator.hh"
+#include "telemetry/metrics.hh"
+
+namespace ena {
+namespace {
+
+const NodeEvaluator &
+evaluator()
+{
+    static NodeEvaluator eval;
+    return eval;
+}
+
+NodeConfig
+paperConfig()
+{
+    NodeConfig cfg;
+    cfg.cus = 320;
+    cfg.freqGhz = 1.0;
+    cfg.bwTbs = 3.0;
+    return cfg;
+}
+
+bool
+sameEval(const EvalResult &a, const EvalResult &b)
+{
+    return a.perf.flops == b.perf.flops &&
+           a.perf.computeRate == b.perf.computeRate &&
+           a.perf.memoryRate == b.perf.memoryRate &&
+           a.perf.trafficGbs == b.perf.trafficGbs &&
+           a.power.budgetPower() == b.power.budgetPower() &&
+           a.power.packagePower() == b.power.packagePower() &&
+           a.power.total() == b.power.total();
+}
+
+TEST(EvalMemoCache, FirstLookupMissesSecondHits)
+{
+    EvalMemoCache memo;
+    const NodeConfig cfg = paperConfig();
+
+    EvalResult first = evaluator().evaluateMemo(cfg, App::CoMD, memo);
+    EXPECT_EQ(memo.hits(), 0u);
+    EXPECT_EQ(memo.misses(), 2u); // one perf + one power result
+
+    EvalResult second = evaluator().evaluateMemo(cfg, App::CoMD, memo);
+    EXPECT_EQ(memo.hits(), 2u);
+    EXPECT_EQ(memo.misses(), 2u);
+    EXPECT_TRUE(sameEval(first, second));
+}
+
+TEST(EvalMemoCache, MemoizedResultIsBitIdenticalToScalar)
+{
+    EvalMemoCache memo;
+    const NodeConfig cfg = paperConfig();
+    for (App app : allApps()) {
+        EvalResult oracle = evaluator().evaluate(cfg, app);
+        // Twice: once filling the cache, once served from it.
+        EvalResult cold = evaluator().evaluateMemo(cfg, app, memo);
+        EvalResult warm = evaluator().evaluateMemo(cfg, app, memo);
+        EXPECT_TRUE(sameEval(oracle, cold)) << appName(app);
+        EXPECT_TRUE(sameEval(oracle, warm)) << appName(app);
+    }
+}
+
+TEST(EvalMemoCache, PerfResultSharedAcrossPowerOptSettings)
+{
+    EvalMemoCache memo;
+    NodeConfig cfg = paperConfig();
+    cfg.opts = PowerOptConfig::none();
+    evaluator().evaluateMemo(cfg, App::HPGMG, memo);
+    ASSERT_EQ(memo.misses(), 2u);
+
+    // Same knobs, different power opts: the perf key ignores opts, so
+    // only the power result is recomputed.
+    cfg.opts = PowerOptConfig::all();
+    evaluator().evaluateMemo(cfg, App::HPGMG, memo);
+    EXPECT_EQ(memo.hits(), 1u);   // perf served from cache
+    EXPECT_EQ(memo.misses(), 3u); // power recomputed
+}
+
+TEST(EvalMemoCache, TelemetryCountersTrackHitsAndMisses)
+{
+    telemetry::Counter &hits = telemetry::counter("dse.memo_hits");
+    telemetry::Counter &misses = telemetry::counter("dse.memo_misses");
+    const std::uint64_t h0 = hits.value();
+    const std::uint64_t m0 = misses.value();
+
+    EvalMemoCache memo;
+    evaluator().evaluateMemo(paperConfig(), App::LULESH, memo);
+    evaluator().evaluateMemo(paperConfig(), App::LULESH, memo);
+
+    EXPECT_EQ(hits.value() - h0, 2u);
+    EXPECT_EQ(misses.value() - m0, 2u);
+}
+
+TEST(EvalMemoCache, EvictionKeepsResultsCorrect)
+{
+    // Capacity 16 over 16 shards = one entry per shard: almost every
+    // store lands on a full shard and clears it.
+    EvalMemoCache memo(16);
+    NodeConfig cfg = paperConfig();
+
+    std::vector<EvalResult> oracle;
+    for (int cus = 64; cus <= 384; cus += 32) {
+        cfg.cus = cus;
+        oracle.push_back(evaluator().evaluate(cfg, App::MaxFlops));
+        evaluator().evaluateMemo(cfg, App::MaxFlops, memo);
+    }
+    EXPECT_GT(memo.evictions(), 0u);
+
+    // Whatever was evicted just recomputes; everything still matches
+    // the scalar oracle bit for bit.
+    int i = 0;
+    for (int cus = 64; cus <= 384; cus += 32) {
+        cfg.cus = cus;
+        EvalResult r = evaluator().evaluateMemo(cfg, App::MaxFlops, memo);
+        EXPECT_TRUE(sameEval(oracle[i++], r)) << cus << " CUs";
+    }
+}
+
+TEST(EvalMemoCache, SizeAndClear)
+{
+    EvalMemoCache memo;
+    EXPECT_EQ(memo.size(), 0u);
+    evaluator().evaluateMemo(paperConfig(), App::CoMD, memo);
+    EXPECT_EQ(memo.size(), 2u);
+    memo.clear();
+    EXPECT_EQ(memo.size(), 0u);
+
+    // Cleared means the next lookup misses again.
+    const std::uint64_t misses = memo.misses();
+    evaluator().evaluateMemo(paperConfig(), App::CoMD, memo);
+    EXPECT_EQ(memo.misses(), misses + 2u);
+}
+
+TEST(EvalMemoCache, PowerOptBitsDistinguishEverySetting)
+{
+    // Each toggle flips its own bit, so every combination keys its own
+    // power entry (the journal's o<bits> tag uses the same layout).
+    EXPECT_EQ(powerOptBits(PowerOptConfig::none()), 0);
+    PowerOptConfig o;
+    o.ntc = true;
+    EXPECT_EQ(powerOptBits(o) & 1, 1);
+    o = PowerOptConfig::all();
+    EXPECT_EQ(powerOptBits(o), 0x1f);
+}
+
+TEST(EvalMemoCache, DseSweepPopulatesAndReusesTheCache)
+{
+    DseGrid grid;
+    grid.cus = {256, 320};
+    grid.freqsGhz = {0.9, 1.0};
+    grid.bwsTbs = {2.0, 3.0};
+    DesignSpaceExplorer dse(evaluator(), grid, 160.0);
+
+    std::vector<DsePoint> first = dse.sweep(PowerOptConfig::none());
+    const std::uint64_t hits_after_first = dse.memoCache().hits();
+
+    // A repeated sweep is served entirely from the explorer's cache.
+    std::vector<DsePoint> second = dse.sweep(PowerOptConfig::none());
+    EXPECT_EQ(dse.memoCache().hits() - hits_after_first,
+              2u * grid.size() * allApps().size());
+
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].geomeanFlops, second[i].geomeanFlops);
+        EXPECT_EQ(first[i].meanBudgetPowerW, second[i].meanBudgetPowerW);
+        EXPECT_EQ(first[i].maxBudgetPowerW, second[i].maxBudgetPowerW);
+    }
+}
+
+} // anonymous namespace
+} // namespace ena
