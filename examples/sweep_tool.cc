@@ -5,15 +5,21 @@
  * co-design studies on top of the analytic models.
  *
  * Usage:
- *   sweep_tool APP AXIS FROM TO STEP [CUS FREQ_GHZ BW_TBS]
+ *   sweep_tool [--server ENDPOINT] APP AXIS FROM TO STEP [CUS FREQ_GHZ BW_TBS]
  *
  *   AXIS is one of: cus | freq | bw
  *   The optional trailing triple fixes the other axes (defaults to the
  *   best-mean configuration 320 / 1.0 / 3.0).
  *
+ * With --server the sweep is evaluated by a running ena-server (the
+ * thin-client mode: all model work happens in the daemon, through the
+ * process-wide memo cache) and the CSV is byte-identical to the local
+ * run — the wire protocol round-trips every double exactly and the
+ * formatting below happens client-side in both modes.
+ *
  * Example:
  *   sweep_tool lulesh bw 1 7 0.5
- *   sweep_tool maxflops cus 64 384 32 320 1.0 1.0
+ *   sweep_tool --server unix:ena-server.sock lulesh bw 1 7 0.5
  */
 
 #include <iostream>
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "core/ena.hh"
+#include "server/client.hh"
 #include "util/thread_pool.hh"
 
 using namespace ena;
@@ -31,8 +38,8 @@ namespace {
 int
 usage()
 {
-    std::cerr << "usage: sweep_tool APP cus|freq|bw FROM TO STEP "
-                 "[CUS FREQ BW]\n";
+    std::cerr << "usage: sweep_tool [--server ENDPOINT] APP cus|freq|bw "
+                 "FROM TO STEP [CUS FREQ BW]\n";
     return 1;
 }
 
@@ -41,35 +48,76 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 6)
+    // Strip --server ENDPOINT; the remaining positionals parse as ever.
+    std::string server;
+    std::vector<char *> args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--server" && i + 1 < argc)
+            server = argv[++i];
+        else
+            args.push_back(argv[i]);
+    }
+
+    if (args.size() < 5)
         return usage();
 
-    App app = appFromName(argv[1]);
-    std::string axis = argv[2];
-    double from = std::stod(argv[3]);
-    double to = std::stod(argv[4]);
-    double step = std::stod(argv[5]);
+    App app = appFromName(args[0]);
+    std::string axis = args[1];
+    double from = std::stod(args[2]);
+    double to = std::stod(args[3]);
+    double step = std::stod(args[4]);
     if (step <= 0.0 || to < from)
         return usage();
     if (axis != "cus" && axis != "freq" && axis != "bw")
         return usage();
 
     NodeConfig base = NodeConfig::bestMean();
-    if (argc > 8) {
-        base.cus = std::stoi(argv[6]);
-        base.freqGhz = std::stod(argv[7]);
-        base.bwTbs = std::stod(argv[8]);
+    bool haveBase = args.size() > 7;
+    if (haveBase) {
+        base.cus = std::stoi(args[5]);
+        base.freqGhz = std::stod(args[6]);
+        base.bwTbs = std::stod(args[7]);
     }
 
-    std::vector<double> values;
-    for (double v = from; v <= to + 1e-9; v += step)
-        values.push_back(v);
+    std::vector<std::string> rows;
+    if (!server.empty()) {
+        // Thin-client mode: the daemon evaluates; we only format.
+        Expected<Endpoint> ep = tryParseEndpoint(server);
+        if (!ep.ok()) {
+            std::cerr << "sweep_tool: " << ep.status().toString() << "\n";
+            return 1;
+        }
+        ClientOptions opts;
+        opts.endpoint = *ep;
+        ServerClient client(opts);
+        Expected<std::vector<SweepPoint>> points = client.sweepAxis(
+            args[0], axis, from, to, step, haveBase ? &base : nullptr);
+        if (!points.ok()) {
+            std::cerr << "sweep_tool: " << points.status().toString()
+                      << "\n";
+            return 1;
+        }
+        rows.reserve(points->size());
+        for (const SweepPoint &p : *points) {
+            std::ostringstream os;
+            os << appName(app) << "," << axis << "," << p.value << ","
+               << p.cus << "," << p.freqGhz << "," << p.bwTbs << ","
+               << p.opsPerByte << "," << p.teraflops() << ","
+               << p.cuUtilization << "," << p.trafficGbs << ","
+               << p.budgetW << "," << p.totalW << ","
+               << p.gflopsPerW() << "," << (p.memoryBound ? 1 : 0)
+               << "\n";
+            rows.push_back(os.str());
+        }
+    } else {
+        std::vector<double> values;
+        for (double v = from; v <= to + 1e-9; v += step)
+            values.push_back(v);
 
-    // Evaluate every point on the process-wide pool (ENA_THREADS) and
-    // emit the CSV rows in sweep order afterwards.
-    NodeEvaluator eval;
-    std::vector<std::string> rows = parallel_map(
-        values.size(), [&](std::size_t i) {
+        // Evaluate every point on the process-wide pool (ENA_THREADS)
+        // and emit the CSV rows in sweep order afterwards.
+        NodeEvaluator eval;
+        rows = parallel_map(values.size(), [&](std::size_t i) {
             double v = values[i];
             NodeConfig cfg = base;
             if (axis == "cus")
@@ -91,6 +139,7 @@ main(int argc, char **argv)
                << (r.perf.memoryBound ? 1 : 0) << "\n";
             return os.str();
         });
+    }
 
     std::cout << "app,axis,value,cus,freq_ghz,bw_tbs,ops_per_byte,"
                  "teraflops,cu_utilization,traffic_gbs,budget_w,"

@@ -105,6 +105,16 @@ EvalMemoCache::EvalMemoCache(std::size_t max_entries)
 {
 }
 
+EvalMemoCache &
+EvalMemoCache::sharedInstance()
+{
+    // Leaked on purpose: server worker threads may still be draining
+    // requests while static destructors run; a cache with no destructor
+    // scheduled cannot be used after free. 1M entries per result kind.
+    static EvalMemoCache *cache = new EvalMemoCache(1u << 20);
+    return *cache;
+}
+
 template <typename K, typename V, typename H>
 bool
 EvalMemoCache::find(const Shard<K, V, H> *shards, const K &key,

@@ -90,11 +90,29 @@ struct PowerMemoKeyHash
     std::size_t operator()(const PowerMemoKey &k) const;
 };
 
+/**
+ * Thread safety: every member is safe to call concurrently — lookups
+ * and stores lock only the shard owning the key, and the counters are
+ * atomics. Distinct threads (ThreadPool workers, server worker
+ * threads, concurrent clients' requests) may share one cache with no
+ * external locking; the worst case for racing stores of the same key
+ * is writing the same bits twice.
+ */
 class EvalMemoCache
 {
   public:
     /** @param max_entries capacity per result kind (perf and power). */
     explicit EvalMemoCache(std::size_t max_entries = 1u << 16);
+
+    /**
+     * The process-wide cache shared by the evaluation server and the
+     * CLI paths (cross-tenant dedup: identical grid points from any
+     * client evaluate once). Initialization is race-free (C++ magic
+     * static) and the instance is intentionally leaked so worker
+     * threads draining after main() returns never touch a destroyed
+     * cache.
+     */
+    static EvalMemoCache &sharedInstance();
 
     bool findPerf(const PerfMemoKey &k, PerfResult *out) const;
     void storePerf(const PerfMemoKey &k, const PerfResult &v);

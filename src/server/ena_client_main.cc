@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Thin CLI over the ena-server protocol (server/client.hh). Prints
+ * each op's JSON result on stdout.
+ *
+ * Usage:
+ *   ena-client ENDPOINT ping
+ *   ena-client ENDPOINT stats
+ *   ena-client ENDPOINT shutdown
+ *   ena-client ENDPOINT eval APP [CONFIG_FILE]
+ *   ena-client ENDPOINT sweep APP cus|freq|bw FROM TO STEP [CUS FREQ BW]
+ *   ena-client ENDPOINT table2 [BUDGET_W]
+ *   ena-client ENDPOINT cluster APP PATTERN [CONFIG_FILE]
+ *   ena-client ENDPOINT resilient APP PATTERN [CONFIG_FILE]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/node_config_io.hh"
+#include "server/client.hh"
+
+using namespace ena;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: ena-client ENDPOINT COMMAND [ARGS]\n"
+           "  ping | stats | shutdown\n"
+           "  eval APP [CONFIG_FILE]\n"
+           "  sweep APP cus|freq|bw FROM TO STEP [CUS FREQ BW]\n"
+           "  table2 [BUDGET_W]\n"
+           "  cluster APP PATTERN [CONFIG_FILE]\n"
+           "  resilient APP PATTERN [CONFIG_FILE]\n";
+    return 1;
+}
+
+Expected<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::ioError("cannot read ", path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+int
+fail(const Status &s)
+{
+    std::cerr << "ena-client: " << s.toString() << "\n";
+    return 1;
+}
+
+int
+print(const Expected<wire::JsonValue> &result)
+{
+    if (!result.ok())
+        return fail(result.status());
+    std::cout << result->dump() << "\n";
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+
+    Expected<Endpoint> ep = tryParseEndpoint(argv[1]);
+    if (!ep.ok())
+        return fail(ep.status());
+
+    ClientOptions opts;
+    opts.endpoint = *ep;
+    ServerClient client(opts);
+
+    std::string cmd = argv[2];
+    if (cmd == "ping")
+        return print(client.ping());
+    if (cmd == "stats")
+        return print(client.stats());
+    if (cmd == "shutdown")
+        return print(client.shutdownServer());
+
+    if (cmd == "eval") {
+        if (argc < 4)
+            return usage();
+        wire::JsonValue params = wire::JsonValue::object();
+        params.set("app", argv[3]);
+        if (argc > 4) {
+            Expected<std::string> text = readFile(argv[4]);
+            if (!text.ok())
+                return fail(text.status());
+            params.set("config", *text);
+        }
+        return print(client.call("eval_node", std::move(params)));
+    }
+
+    if (cmd == "sweep") {
+        if (argc < 8)
+            return usage();
+        wire::JsonValue params = wire::JsonValue::object();
+        params.set("app", argv[3]);
+        params.set("axis", argv[4]);
+        params.set("from", std::stod(argv[5]));
+        params.set("to", std::stod(argv[6]));
+        params.set("step", std::stod(argv[7]));
+        if (argc > 10) {
+            NodeConfig base = NodeConfig::bestMean();
+            base.cus = std::stoi(argv[8]);
+            base.freqGhz = std::stod(argv[9]);
+            base.bwTbs = std::stod(argv[10]);
+            params.set("config", nodeConfigToConfig(base).toString());
+        }
+        return print(client.call("sweep", std::move(params)));
+    }
+
+    if (cmd == "table2") {
+        wire::JsonValue params = wire::JsonValue::object();
+        if (argc > 3)
+            params.set("budget_w", std::stod(argv[3]));
+        return print(client.call("table2", std::move(params)));
+    }
+
+    if (cmd == "cluster" || cmd == "resilient") {
+        if (argc < 5)
+            return usage();
+        wire::JsonValue params = wire::JsonValue::object();
+        params.set("app", argv[3]);
+        params.set("pattern", argv[4]);
+        if (argc > 5) {
+            Expected<std::string> text = readFile(argv[5]);
+            if (!text.ok())
+                return fail(text.status());
+            params.set("config", *text);
+        }
+        return print(client.call(
+            cmd == "cluster" ? "cluster_eval" : "resilient_eval",
+            std::move(params)));
+    }
+
+    return usage();
+}

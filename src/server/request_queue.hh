@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bounded MPMC queue feeding the evaluation server's worker threads.
+ * push() blocks when the queue is full (backpressure toward slow
+ * clients instead of unbounded memory growth); pop() blocks when
+ * empty. close() drains: pending items are still delivered, then
+ * pop() returns nullopt and push() returns false.
+ */
+
+#ifndef ENA_SERVER_REQUEST_QUEUE_HH
+#define ENA_SERVER_REQUEST_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ena {
+
+template <typename T>
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /** Blocks while full; false when the queue has been closed. */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notFull_.wait(lock, [this] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Blocks while empty; nullopt once closed and drained. */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notEmpty_.wait(lock,
+                       [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        notFull_.notify_one();
+        return item;
+    }
+
+    /** Idempotent; wakes all blocked producers and consumers. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+    std::size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace ena
+
+#endif // ENA_SERVER_REQUEST_QUEUE_HH

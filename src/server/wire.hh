@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Hand-rolled minimal JSON for the evaluation server's wire protocol.
+ * No external dependencies; just enough JSON for newline-delimited
+ * request/response objects.
+ *
+ * Numbers are serialized with %.17g (DBL_DECIMAL_DIG significant
+ * digits), which round-trips every finite double exactly through a
+ * correctly-rounded strtod — the server's bit-identity guarantee rides
+ * on this. Non-finite numbers serialize as null (JSON has no inf/nan).
+ *
+ * Objects preserve insertion order so serialized responses are
+ * deterministic and diffable.
+ */
+
+#ifndef ENA_SERVER_WIRE_HH
+#define ENA_SERVER_WIRE_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace ena::wire {
+
+/** A JSON value: null, bool, number, string, array, or object. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double n) : kind_(Kind::Number), num_(n) {}
+    JsonValue(int n) : kind_(Kind::Number), num_(n) {}
+    JsonValue(long n) : kind_(Kind::Number), num_(double(n)) {}
+    JsonValue(unsigned long n) : kind_(Kind::Number), num_(double(n)) {}
+    JsonValue(const char *s) : kind_(Kind::String), str_(s) {}
+    JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+    static JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+
+    static JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return num_; }
+    const std::string &str() const { return str_; }
+
+    /** Object: set (or replace) a member. Returns *this for chaining. */
+    JsonValue &set(std::string key, JsonValue value);
+
+    /** Object: member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Array: append an element. Returns *this for chaining. */
+    JsonValue &push(JsonValue value);
+
+    /** Array/object element count. */
+    std::size_t size() const;
+
+    /** Array element access (unchecked). */
+    const JsonValue &at(std::size_t i) const { return arr_[i]; }
+
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return obj_;
+    }
+
+    const std::vector<JsonValue> &elements() const { return arr_; }
+
+    /** Compact one-line serialization (no embedded newlines). */
+    std::string dump() const;
+    void writeTo(std::string *out) const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+    std::vector<JsonValue> arr_;
+};
+
+/** Parse one JSON document (leading/trailing whitespace allowed). */
+Expected<JsonValue> tryParseJson(std::string_view text);
+
+/**
+ * Typed request-field accessors. The two-argument forms require the
+ * field (InvalidArgument when missing or mistyped); the defaulted
+ * forms treat an absent field as the default but still reject a
+ * present field of the wrong type.
+ */
+Expected<std::string> tryGetString(const JsonValue &obj,
+                                   std::string_view key);
+Expected<std::string> tryGetString(const JsonValue &obj,
+                                   std::string_view key,
+                                   std::string dflt);
+Expected<double> tryGetNumber(const JsonValue &obj,
+                              std::string_view key);
+Expected<double> tryGetNumber(const JsonValue &obj, std::string_view key,
+                              double dflt);
+Expected<bool> tryGetBool(const JsonValue &obj, std::string_view key,
+                          bool dflt);
+
+} // namespace ena::wire
+
+#endif // ENA_SERVER_WIRE_HH

@@ -153,9 +153,14 @@ class Status
     {
         if (ok())
             return *this;
-        return Status(code_,
-                      detail::formatMsg(std::forward<Args>(args)...) +
-                          ": " + message_);
+        // Build "<context>: <message>" with one allocation instead of
+        // the two temporaries operator+ chains would create — context
+        // frames stack up several layers deep on sweep error paths.
+        std::string out = detail::formatMsg(std::forward<Args>(args)...);
+        out.reserve(out.size() + 2 + message_.size());
+        out += ": ";
+        out += message_;
+        return Status(code_, std::move(out));
     }
 
     /** "[parse_error] config line 3: missing '='" (or "[ok]"). */

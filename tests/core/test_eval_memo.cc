@@ -6,6 +6,9 @@
  * correctness, and bit-identity of memoized results.
  */
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/dse.hh"
@@ -179,6 +182,31 @@ TEST(EvalMemoCache, DseSweepPopulatesAndReusesTheCache)
         EXPECT_EQ(first[i].meanBudgetPowerW, second[i].meanBudgetPowerW);
         EXPECT_EQ(first[i].maxBudgetPowerW, second[i].maxBudgetPowerW);
     }
+}
+
+TEST(EvalMemoCache, SharedInstanceIsOneProcessWideCache)
+{
+    // Every thread must see the same cache object (the evaluation
+    // server keys its cross-client memoization on this).
+    EvalMemoCache *fromThreads[4] = {};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&fromThreads, t] {
+            fromThreads[t] = &EvalMemoCache::sharedInstance();
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(fromThreads[t], &EvalMemoCache::sharedInstance());
+
+    // And memoized results through it are bit-identical to the oracle.
+    EvalMemoCache &shared = EvalMemoCache::sharedInstance();
+    NodeConfig cfg = paperConfig();
+    EvalResult direct = evaluator().evaluate(cfg, App::LULESH);
+    EvalResult memod =
+        evaluator().evaluateMemo(cfg, App::LULESH, shared);
+    EXPECT_TRUE(sameEval(direct, memod));
 }
 
 } // anonymous namespace

@@ -1,0 +1,585 @@
+/**
+ * @file
+ * Tests for the evaluation server stack: RequestQueue semantics,
+ * endpoint parsing, socket-free EvalService dispatch (including the
+ * bit-identity of server-side evaluation against the scalar oracle and
+ * fault-injected sweeps), and end-to-end daemon tests over a Unix
+ * socket — among them the concurrent multi-client sweep that must be
+ * bit-identical to serial local evaluation with exact request
+ * accounting.
+ */
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/ena.hh"
+#include "server/client.hh"
+#include "server/request_queue.hh"
+#include "server/server.hh"
+#include "util/fault_inject.hh"
+#include "util/net.hh"
+#include "util/thread_pool.hh"
+
+using namespace ena;
+using wire::JsonValue;
+
+namespace {
+
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    return bits;
+}
+
+/** A unique Unix socket path per test process. */
+std::string
+testSocketPath(const char *tag)
+{
+    return "/tmp/ena-ut-" + std::string(tag) + "-" +
+           std::to_string(::getpid()) + ".sock";
+}
+
+// ---------------------------------------------------------------------
+// RequestQueue
+
+TEST(RequestQueue, DeliversInFifoOrder)
+{
+    RequestQueue<int> q(8);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.push(3));
+    EXPECT_EQ(q.depth(), 3u);
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_EQ(q.pop().value(), 3);
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(RequestQueue, CloseDrainsPendingItemsThenStops)
+{
+    RequestQueue<int> q(8);
+    EXPECT_TRUE(q.push(7));
+    EXPECT_TRUE(q.push(8));
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(9));
+    EXPECT_EQ(q.pop().value(), 7);
+    EXPECT_EQ(q.pop().value(), 8);
+    EXPECT_FALSE(q.pop().has_value());
+    q.close(); // idempotent
+}
+
+TEST(RequestQueue, PushBlocksAtCapacityUntilPop)
+{
+    RequestQueue<int> q(1);
+    EXPECT_TRUE(q.push(1));
+
+    // The second push must block until the consumer drains a slot.
+    std::thread producer([&q] { EXPECT_TRUE(q.push(2)); });
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    producer.join();
+    EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(RequestQueue, CloseWakesBlockedProducer)
+{
+    RequestQueue<int> q(1);
+    EXPECT_TRUE(q.push(1));
+    std::thread producer([&q] { EXPECT_FALSE(q.push(2)); });
+    q.close();
+    producer.join();
+}
+
+// ---------------------------------------------------------------------
+// Endpoint grammar
+
+TEST(Endpoint, ParsesTheDocumentedGrammar)
+{
+    auto u = tryParseEndpoint("unix:/tmp/a.sock");
+    ASSERT_TRUE(u.ok());
+    EXPECT_EQ(u->kind, Endpoint::Kind::Unix);
+    EXPECT_EQ(u->path, "/tmp/a.sock");
+    EXPECT_EQ(u->toString(), "unix:/tmp/a.sock");
+
+    auto t = tryParseEndpoint("tcp:10.0.0.1:9123");
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->kind, Endpoint::Kind::Tcp);
+    EXPECT_EQ(t->host, "10.0.0.1");
+    EXPECT_EQ(t->port, 9123);
+    EXPECT_EQ(t->toString(), "tcp:10.0.0.1:9123");
+
+    // Bare integer: loopback TCP port.
+    auto p = tryParseEndpoint("9123");
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->kind, Endpoint::Kind::Tcp);
+    EXPECT_EQ(p->host, "127.0.0.1");
+    EXPECT_EQ(p->port, 9123);
+
+    // Anything path-like is a Unix socket.
+    auto bare = tryParseEndpoint("run/ena.sock");
+    ASSERT_TRUE(bare.ok());
+    EXPECT_EQ(bare->kind, Endpoint::Kind::Unix);
+    EXPECT_EQ(bare->path, "run/ena.sock");
+
+    EXPECT_FALSE(tryParseEndpoint("").ok());
+    EXPECT_FALSE(tryParseEndpoint("tcp:nohostport").ok());
+    EXPECT_FALSE(tryParseEndpoint("tcp:host:notaport").ok());
+    EXPECT_FALSE(tryParseEndpoint("tcp:host:70000").ok());
+}
+
+// ---------------------------------------------------------------------
+// EvalService (socket-free dispatch)
+
+JsonValue
+request(const char *op)
+{
+    JsonValue r = JsonValue::object();
+    r.set("op", op);
+    return r;
+}
+
+TEST(EvalService, PingEchoesIdAndIdentifiesTheServer)
+{
+    EvalService svc;
+    JsonValue req = request("ping");
+    req.set("id", 42);
+    JsonValue resp = svc.handle(req);
+
+    ASSERT_NE(resp.find("id"), nullptr);
+    EXPECT_EQ(resp.find("id")->number(), 42.0);
+    EXPECT_TRUE(resp.find("ok")->boolean());
+    const JsonValue *result = resp.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->find("server")->str(), "ena-server");
+    EXPECT_EQ(svc.requestsHandled(), 1u);
+    EXPECT_EQ(svc.errorsReturned(), 0u);
+}
+
+TEST(EvalService, MissingIdEchoesNull)
+{
+    EvalService svc;
+    JsonValue resp = svc.handle(request("ping"));
+    ASSERT_NE(resp.find("id"), nullptr);
+    EXPECT_TRUE(resp.find("id")->isNull());
+}
+
+TEST(EvalService, UnknownOpIsNotFound)
+{
+    EvalService svc;
+    JsonValue resp = svc.handle(request("frobnicate"));
+    EXPECT_FALSE(resp.find("ok")->boolean());
+    const JsonValue *err = resp.find("error");
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->find("code")->str(), "not_found");
+    EXPECT_EQ(svc.errorsReturned(), 1u);
+}
+
+TEST(EvalService, BadAppAndBadConfigAreStructuredErrors)
+{
+    EvalService svc;
+
+    JsonValue req = request("eval_node");
+    req.set("app", "no-such-app");
+    JsonValue resp = svc.handle(req);
+    EXPECT_FALSE(resp.find("ok")->boolean());
+
+    JsonValue req2 = request("eval_node");
+    req2.set("app", "lulesh");
+    req2.set("config", "not a key-value line");
+    JsonValue resp2 = svc.handle(req2);
+    EXPECT_FALSE(resp2.find("ok")->boolean());
+
+    // An out-of-range config crosses the boundary as a Status, not a
+    // throw or a fatal.
+    JsonValue req3 = request("eval_node");
+    req3.set("app", "lulesh");
+    req3.set("config", "ehp.cus = -5");
+    JsonValue resp3 = svc.handle(req3);
+    EXPECT_FALSE(resp3.find("ok")->boolean());
+    EXPECT_EQ(svc.errorsReturned(), 3u);
+}
+
+TEST(EvalService, HandleLineRejectsGarbageAsParseError)
+{
+    EvalService svc;
+    std::string line = svc.handleLine("this is not json");
+    auto resp = wire::tryParseJson(line);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_FALSE(resp->find("ok")->boolean());
+    EXPECT_EQ(resp->find("error")->find("code")->str(), "parse_error");
+    EXPECT_EQ(svc.requestsHandled(), 1u);
+    EXPECT_EQ(svc.errorsReturned(), 1u);
+}
+
+TEST(EvalService, EvalNodeMatchesTheScalarOracleBitExactly)
+{
+    EvalService svc;
+    JsonValue req = request("eval_node");
+    req.set("app", "hpgmg");
+    req.set("config",
+            "ehp.cus = 192\nehp.freq_ghz = 1.2\nehp.bw_tbs = 2.5\n");
+    JsonValue resp = svc.handle(req);
+    ASSERT_TRUE(resp.find("ok")->boolean()) << resp.dump();
+    const JsonValue *r = resp.find("result");
+    ASSERT_NE(r, nullptr);
+
+    NodeConfig cfg;
+    cfg.cus = 192;
+    cfg.freqGhz = 1.2;
+    cfg.bwTbs = 2.5;
+    cfg.validate();
+    NodeEvaluator eval;
+    EvalResult expect = eval.evaluate(cfg, App::HPGMG);
+
+    EXPECT_EQ(bitsOf(r->find("flops")->number()),
+              bitsOf(expect.perf.flops));
+    EXPECT_EQ(bitsOf(r->find("total_w")->number()),
+              bitsOf(expect.power.total()));
+    EXPECT_EQ(bitsOf(r->find("budget_w")->number()),
+              bitsOf(expect.power.budgetPower()));
+    EXPECT_EQ(bitsOf(r->find("traffic_gbs")->number()),
+              bitsOf(expect.perf.trafficGbs));
+    EXPECT_EQ(r->find("memory_bound")->boolean(),
+              expect.perf.memoryBound);
+}
+
+/** The scalar reference for a server-side sweep (sweep_tool's loop). */
+std::vector<std::pair<NodeConfig, EvalResult>>
+localSweep(App app, const std::string &axis, double from, double to,
+           double step, const NodeConfig &base)
+{
+    NodeEvaluator eval;
+    std::vector<std::pair<NodeConfig, EvalResult>> out;
+    for (double v = from; v <= to + 1e-9; v += step) {
+        NodeConfig cfg = base;
+        if (axis == "cus")
+            cfg.cus = static_cast<int>(v);
+        else if (axis == "freq")
+            cfg.freqGhz = v;
+        else
+            cfg.bwTbs = v;
+        cfg.validate();
+        out.emplace_back(cfg, eval.evaluate(cfg, app));
+    }
+    return out;
+}
+
+void
+expectSweepMatchesLocal(const JsonValue &result, App app,
+                        const std::string &axis, double from, double to,
+                        double step, const NodeConfig &base)
+{
+    auto expect = localSweep(app, axis, from, to, step, base);
+    const JsonValue *points = result.find("points");
+    ASSERT_NE(points, nullptr);
+    ASSERT_EQ(points->size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        const JsonValue &p = points->at(i);
+        const EvalResult &r = expect[i].second;
+        EXPECT_EQ(bitsOf(p.find("flops")->number()),
+                  bitsOf(r.perf.flops))
+            << axis << " point " << i;
+        EXPECT_EQ(bitsOf(p.find("total_w")->number()),
+                  bitsOf(r.power.total()));
+        EXPECT_EQ(bitsOf(p.find("cu_utilization")->number()),
+                  bitsOf(r.perf.activity.cuUtilization));
+        EXPECT_EQ(p.find("cus")->number(), expect[i].first.cus);
+    }
+}
+
+TEST(EvalService, SweepMatchesLocalEvaluationBitExactly)
+{
+    EvalService svc;
+    JsonValue req = request("sweep");
+    req.set("app", "lulesh");
+    req.set("axis", "bw");
+    req.set("from", 1.0);
+    req.set("to", 4.0);
+    req.set("step", 0.5);
+    JsonValue resp = svc.handle(req);
+    ASSERT_TRUE(resp.find("ok")->boolean()) << resp.dump();
+    expectSweepMatchesLocal(*resp.find("result"), App::LULESH, "bw",
+                            1.0, 4.0, 0.5, NodeConfig::bestMean());
+}
+
+TEST(EvalService, SweepRejectsBadAxisAndRange)
+{
+    EvalService svc;
+    JsonValue req = request("sweep");
+    req.set("app", "lulesh");
+    req.set("axis", "volts");
+    req.set("from", 1.0);
+    req.set("to", 2.0);
+    req.set("step", 0.5);
+    JsonValue resp = svc.handle(req);
+    EXPECT_FALSE(resp.find("ok")->boolean());
+    EXPECT_EQ(resp.find("error")->find("code")->str(),
+              "invalid_argument");
+
+    req.set("axis", "bw");
+    req.set("step", -1.0);
+    resp = svc.handle(req);
+    EXPECT_FALSE(resp.find("ok")->boolean());
+    EXPECT_EQ(resp.find("error")->find("code")->str(), "out_of_range");
+}
+
+TEST(EvalService, FaultInjectedSweepIsBitIdenticalToFaultFree)
+{
+    // Every pool task faults on its first attempt; the retry policy
+    // absorbs them all, so the sweep must reproduce the fault-free
+    // scalar run bit-for-bit (the server-side ENA_FAULT_INJECT gate).
+    ThreadPool &pool = ThreadPool::global();
+    RetryPolicy saved = pool.retryPolicy();
+    pool.setRetryPolicy(RetryPolicy::attempts(3));
+    FaultPlan plan;
+    plan.rate = 1.0;
+    plan.seed = 11;
+    plan.faultsPerTask = 1;
+    fault_inject::setFaultPlan(plan);
+    std::uint64_t before = fault_inject::faultsInjected();
+
+    EvalService svc;
+    JsonValue req = request("sweep");
+    req.set("app", "hpgmg");
+    req.set("axis", "freq");
+    req.set("from", 0.8);
+    req.set("to", 1.4);
+    req.set("step", 0.1);
+    JsonValue resp = svc.handle(req);
+
+    fault_inject::clearFaultPlan();
+    pool.setRetryPolicy(saved);
+
+    ASSERT_TRUE(resp.find("ok")->boolean()) << resp.dump();
+    EXPECT_GT(fault_inject::faultsInjected(), before);
+    expectSweepMatchesLocal(*resp.find("result"), App::HPGMG, "freq",
+                            0.8, 1.4, 0.1, NodeConfig::bestMean());
+}
+
+TEST(EvalService, SweepWithExhaustedRetriesReturnsAnError)
+{
+    // faultsPerTask above the retry budget: the pool rethrows the
+    // injected fault, which must surface as a structured error
+    // response, never a crash.
+    ThreadPool &pool = ThreadPool::global();
+    RetryPolicy saved = pool.retryPolicy();
+    pool.setRetryPolicy(RetryPolicy::none());
+    FaultPlan plan;
+    plan.rate = 1.0;
+    plan.seed = 3;
+    plan.faultsPerTask = 100;
+    fault_inject::setFaultPlan(plan);
+
+    EvalService svc;
+    JsonValue req = request("sweep");
+    req.set("app", "lulesh");
+    req.set("axis", "bw");
+    req.set("from", 1.0);
+    req.set("to", 2.0);
+    req.set("step", 0.5);
+    JsonValue resp = svc.handle(req);
+
+    fault_inject::clearFaultPlan();
+    pool.setRetryPolicy(saved);
+
+    EXPECT_FALSE(resp.find("ok")->boolean());
+    EXPECT_EQ(svc.errorsReturned(), 1u);
+}
+
+TEST(EvalService, ShutdownSetsTheStopFlag)
+{
+    EvalService svc;
+    EXPECT_FALSE(svc.stopRequested());
+    JsonValue resp = svc.handle(request("shutdown"));
+    EXPECT_TRUE(resp.find("ok")->boolean());
+    EXPECT_TRUE(svc.stopRequested());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end over a Unix socket
+
+TEST(EvalServer, ServesPingEvalAndErrorsOverAUnixSocket)
+{
+    ServerOptions opts;
+    opts.endpoint = Endpoint::unixPath(testSocketPath("e2e"));
+    opts.workers = 2;
+    auto server = EvalServer::start(opts);
+    ASSERT_TRUE(server.ok()) << server.status().toString();
+
+    ClientOptions copts;
+    copts.endpoint = (*server)->endpoint();
+    ServerClient client(copts);
+
+    auto pong = client.ping();
+    ASSERT_TRUE(pong.ok()) << pong.status().toString();
+    EXPECT_EQ(pong->find("server")->str(), "ena-server");
+
+    // Application errors preserve the server's error code.
+    auto bad = client.call("frobnicate");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::NotFound);
+
+    JsonValue params = JsonValue::object();
+    params.set("app", "maxflops");
+    auto eval = client.call("eval_node", std::move(params));
+    ASSERT_TRUE(eval.ok()) << eval.status().toString();
+    NodeEvaluator local;
+    NodeConfig base = NodeConfig::bestMean();
+    EXPECT_EQ(bitsOf(eval->find("flops")->number()),
+              bitsOf(local.evaluate(base, App::MaxFlops).perf.flops));
+
+    auto stats = client.stats();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GE(stats->find("requests")->number(), 3.0);
+
+    (*server)->stop();
+}
+
+TEST(EvalServer, ShutdownOpStopsTheDaemon)
+{
+    ServerOptions opts;
+    opts.endpoint = Endpoint::unixPath(testSocketPath("stop"));
+    opts.workers = 2;
+    auto server = EvalServer::start(opts);
+    ASSERT_TRUE(server.ok()) << server.status().toString();
+
+    ClientOptions copts;
+    copts.endpoint = (*server)->endpoint();
+    ServerClient client(copts);
+    auto ack = client.shutdownServer();
+    ASSERT_TRUE(ack.ok()) << ack.status().toString();
+    EXPECT_TRUE(ack->find("stopping")->boolean());
+
+    (*server)->wait(); // returns because the op triggered requestStop()
+    (*server)->stop();
+    EXPECT_TRUE((*server)->service().stopRequested());
+}
+
+TEST(EvalServer, ConcurrentClientsMatchSerialLocalEvaluationBitExactly)
+{
+    // Satellite gate: N client threads issuing overlapping sweeps must
+    // get results bit-identical to serial local evaluation, and the
+    // server must account for exactly the requests sent.
+    struct SweepSpec
+    {
+        const char *app;
+        App appId;
+        const char *axis;
+        double from, to, step;
+    };
+    const SweepSpec specs[] = {
+        {"lulesh", App::LULESH, "bw", 1.0, 3.0, 0.5},
+        {"maxflops", App::MaxFlops, "cus", 64.0, 320.0, 64.0},
+        {"hpgmg", App::HPGMG, "freq", 0.8, 1.2, 0.1},
+    };
+    const NodeConfig base = NodeConfig::bestMean();
+
+    std::vector<std::vector<std::pair<NodeConfig, EvalResult>>> expect;
+    for (const SweepSpec &s : specs) {
+        expect.push_back(localSweep(s.appId, s.axis, s.from, s.to,
+                                    s.step, base));
+    }
+
+    ServerOptions opts;
+    opts.endpoint = Endpoint::unixPath(testSocketPath("mc"));
+    opts.workers = 4;
+    opts.queueCapacity = 8;
+    auto server = EvalServer::start(opts);
+    ASSERT_TRUE(server.ok()) << server.status().toString();
+    const std::uint64_t requestsBefore =
+        (*server)->service().requestsHandled();
+
+    constexpr int kClients = 8;
+    std::vector<Expected<std::vector<SweepPoint>>> results(
+        kClients,
+        Expected<std::vector<SweepPoint>>(Status::internal("unset")));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t) {
+        threads.emplace_back([&, t] {
+            const SweepSpec &s = specs[t % 3];
+            ClientOptions copts;
+            copts.endpoint = (*server)->endpoint();
+            ServerClient client(copts);
+            results[t] = client.sweepAxis(s.app, s.axis, s.from, s.to,
+                                          s.step);
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    for (int t = 0; t < kClients; ++t) {
+        const auto &want = expect[t % 3];
+        ASSERT_TRUE(results[t].ok())
+            << "client " << t << ": " << results[t].status().toString();
+        const std::vector<SweepPoint> &got = *results[t];
+        ASSERT_EQ(got.size(), want.size()) << "client " << t;
+        for (std::size_t i = 0; i < want.size(); ++i) {
+            const EvalResult &r = want[i].second;
+            EXPECT_EQ(bitsOf(got[i].flops), bitsOf(r.perf.flops))
+                << "client " << t << " point " << i;
+            EXPECT_EQ(bitsOf(got[i].totalW), bitsOf(r.power.total()));
+            EXPECT_EQ(bitsOf(got[i].budgetW),
+                      bitsOf(r.power.budgetPower()));
+            EXPECT_EQ(bitsOf(got[i].trafficGbs),
+                      bitsOf(r.perf.trafficGbs));
+            EXPECT_EQ(got[i].cus, want[i].first.cus);
+            EXPECT_EQ(got[i].memoryBound, r.perf.memoryBound);
+        }
+    }
+
+    // Exactly one request per client sweep, no more, no less.
+    EXPECT_EQ((*server)->service().requestsHandled() - requestsBefore,
+              static_cast<std::uint64_t>(kClients));
+    EXPECT_EQ((*server)->service().errorsReturned(), 0u);
+
+    (*server)->stop();
+}
+
+TEST(EvalServer, PipelinedRequestsOnOneConnectionCorrelateById)
+{
+    ServerOptions opts;
+    opts.endpoint = Endpoint::unixPath(testSocketPath("pipe"));
+    opts.workers = 2;
+    auto server = EvalServer::start(opts);
+    ASSERT_TRUE(server.ok()) << server.status().toString();
+
+    auto sock = connectTo((*server)->endpoint());
+    ASSERT_TRUE(sock.ok()) << sock.status().toString();
+
+    // Three pipelined requests in one write; responses may interleave
+    // in completion order, so collect and match by echoed id.
+    ASSERT_TRUE(sock->sendAll("{\"op\":\"ping\",\"id\":1}\n"
+                              "{\"op\":\"ping\",\"id\":2}\n"
+                              "{\"op\":\"nope\",\"id\":3}\n")
+                    .ok());
+    std::string buffer;
+    bool sawOk[4] = {false, false, false, false};
+    for (int i = 0; i < 3; ++i) {
+        std::string line;
+        auto got = sock->recvLine(&buffer, &line);
+        ASSERT_TRUE(got.ok()) << got.status().toString();
+        ASSERT_TRUE(*got);
+        auto resp = wire::tryParseJson(line);
+        ASSERT_TRUE(resp.ok());
+        int id = static_cast<int>(resp->find("id")->number());
+        ASSERT_GE(id, 1);
+        ASSERT_LE(id, 3);
+        sawOk[id] = resp->find("ok")->boolean();
+    }
+    EXPECT_TRUE(sawOk[1]);
+    EXPECT_TRUE(sawOk[2]);
+    EXPECT_FALSE(sawOk[3]);
+
+    (*server)->stop();
+}
+
+} // anonymous namespace

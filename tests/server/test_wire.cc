@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the server's hand-rolled JSON (server/wire.hh): exact
+ * double round-trips (the wire protocol's bit-identity guarantee),
+ * string escaping, parser error paths, and the typed accessors.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "server/wire.hh"
+
+using namespace ena;
+using wire::JsonValue;
+using wire::tryParseJson;
+
+namespace {
+
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    return bits;
+}
+
+TEST(Wire, ScalarsRoundTrip)
+{
+    EXPECT_EQ(JsonValue().dump(), "null");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue(false).dump(), "false");
+    EXPECT_EQ(JsonValue(42).dump(), "42");
+    EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+
+    auto v = tryParseJson(" true ");
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->isBool());
+    EXPECT_TRUE(v->boolean());
+}
+
+TEST(Wire, DoublesRoundTripBitExactly)
+{
+    const double cases[] = {
+        0.0,
+        -0.0,
+        1.0 / 3.0,
+        0.10666666666666667,
+        3027202472086.2437,
+        1e-308,
+        1.7976931348623157e308,
+        -123.456e-7,
+        2632.3499757271684,
+    };
+    for (double d : cases) {
+        std::string text = JsonValue(d).dump();
+        auto parsed = tryParseJson(text);
+        ASSERT_TRUE(parsed.ok()) << text;
+        ASSERT_TRUE(parsed->isNumber());
+        EXPECT_EQ(bitsOf(parsed->number()), bitsOf(d))
+            << "through \"" << text << "\"";
+    }
+}
+
+TEST(Wire, NonFiniteNumbersSerializeAsNull)
+{
+    EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+}
+
+TEST(Wire, ObjectsPreserveInsertionOrder)
+{
+    JsonValue o = JsonValue::object();
+    o.set("z", 1);
+    o.set("a", 2);
+    o.set("z", 3); // replace keeps position
+    EXPECT_EQ(o.dump(), "{\"z\":3,\"a\":2}");
+    ASSERT_NE(o.find("a"), nullptr);
+    EXPECT_EQ(o.find("a")->number(), 2.0);
+    EXPECT_EQ(o.find("missing"), nullptr);
+}
+
+TEST(Wire, NestedDocumentRoundTrips)
+{
+    const std::string text =
+        "{\"op\":\"sweep\",\"points\":[{\"v\":1.5},{\"v\":2.5}],"
+        "\"ok\":true,\"note\":null}";
+    auto v = tryParseJson(text);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->dump(), text);
+    const JsonValue *points = v->find("points");
+    ASSERT_NE(points, nullptr);
+    ASSERT_EQ(points->size(), 2u);
+    EXPECT_EQ(points->at(1).find("v")->number(), 2.5);
+}
+
+TEST(Wire, StringEscapes)
+{
+    JsonValue s(std::string("a\"b\\c\nd\te\x01" "f"));
+    EXPECT_EQ(s.dump(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    auto parsed = tryParseJson(s.dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->str(), "a\"b\\c\nd\te\x01" "f");
+
+    auto unicode = tryParseJson("\"\\u0041\\u00e9\"");
+    ASSERT_TRUE(unicode.ok());
+    EXPECT_EQ(unicode->str(), "A\xc3\xa9");
+}
+
+TEST(Wire, ParserRejectsMalformedInput)
+{
+    EXPECT_FALSE(tryParseJson("").ok());
+    EXPECT_FALSE(tryParseJson("{").ok());
+    EXPECT_FALSE(tryParseJson("{\"a\":}").ok());
+    EXPECT_FALSE(tryParseJson("[1,]").ok());
+    EXPECT_FALSE(tryParseJson("treu").ok());
+    EXPECT_FALSE(tryParseJson("1 2").ok());
+    EXPECT_FALSE(tryParseJson("\"unterminated").ok());
+    EXPECT_FALSE(tryParseJson("{\"a\":1}x").ok());
+
+    auto bad = tryParseJson("{\"a\" 1}");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::ParseError);
+}
+
+TEST(Wire, ParserRejectsDeepNesting)
+{
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    EXPECT_FALSE(tryParseJson(deep).ok());
+}
+
+TEST(Wire, TypedAccessors)
+{
+    auto obj = tryParseJson("{\"s\":\"x\",\"n\":2.5,\"b\":true}");
+    ASSERT_TRUE(obj.ok());
+
+    EXPECT_EQ(wire::tryGetString(*obj, "s").value(), "x");
+    EXPECT_EQ(wire::tryGetNumber(*obj, "n").value(), 2.5);
+    EXPECT_TRUE(wire::tryGetBool(*obj, "b", false).value());
+
+    // Missing: required form errors, defaulted form falls back.
+    EXPECT_EQ(wire::tryGetString(*obj, "nope").status().code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(wire::tryGetString(*obj, "nope", "dflt").value(), "dflt");
+    EXPECT_EQ(wire::tryGetNumber(*obj, "nope", 7.0).value(), 7.0);
+
+    // Present but mistyped: error even with a default.
+    EXPECT_FALSE(wire::tryGetNumber(*obj, "s", 1.0).ok());
+    EXPECT_FALSE(wire::tryGetBool(*obj, "n", true).ok());
+}
+
+} // anonymous namespace

@@ -58,6 +58,17 @@ TEST(Status, WithContextPrependsAndKeepsTheCode)
               "run 7: loading node config: missing config key 'ehp.cus'");
 }
 
+TEST(Status, WithContextFormatIsPinned)
+{
+    // Tooling greps these messages ("context: context: message"), so
+    // the exact separator and multi-arg formatting are contractual.
+    Status s = Status::parseError("bad token")
+                   .withContext("line ", 3)
+                   .withContext("loading ", std::string("cfg.ini"));
+    EXPECT_EQ(s.code(), ErrorCode::ParseError);
+    EXPECT_EQ(s.message(), "loading cfg.ini: line 3: bad token");
+}
+
 TEST(Status, WithContextIsANoOpOnOk)
 {
     Status s = Status().withContext("should not appear");
