@@ -5,9 +5,12 @@
  * dispatch path matters for fine-grained DAGs — the paper's cited
  * approach for programming the EHP [13].
  *
- * Builds a wavefront-pattern DAG (a 2D sweep, SNAP-like) over the 8
- * GPU chiplets' queues and compares user-mode dispatch latency against
- * a legacy driver-mediated path.
+ * Builds a wavefront-pattern DAG (a 2D sweep, SNAP-like) through the
+ * shared TaskDag::wavefront generator — the same graph the
+ * cluster-level scheduler layer studies (see taskgraph_explorer) —
+ * maps it onto the 8 GPU chiplets' queues, and compares user-mode
+ * dispatch latency against a legacy driver-mediated path at
+ * cycle level.
  *
  * Usage: task_graph_scheduling [GRID_N]
  */
@@ -18,6 +21,8 @@
 
 #include "hsa/task_graph.hh"
 #include "sim/simulation.hh"
+#include "taskgraph/task_dag.hh"
+#include "util/status.hh"
 #include "util/string_utils.hh"
 #include "util/table.hh"
 
@@ -32,14 +37,14 @@ struct RunResult
     double efficiency;
 };
 
-/** A 2D wavefront sweep: task (i,j) depends on (i-1,j) and (i,j-1). */
+/** Replay the shared wavefront DAG through the cycle-level HSA model. */
 RunResult
-runSweep(int n, Tick dispatch_latency, Tick kernel_ticks)
+runSweep(const TaskDag &dag, Tick dispatch_latency, Tick kernel_ticks)
 {
     Simulation sim;
     AqlQueueParams qp;
     qp.dispatchLatency = dispatch_latency;
-    qp.ringSlots = static_cast<size_t>(n) * n;
+    qp.ringSlots = dag.size();
     std::vector<AqlQueue *> queues;
     for (int q = 0; q < 8; ++q) {
         queues.push_back(sim.create<AqlQueue>(
@@ -47,19 +52,14 @@ runSweep(int n, Tick dispatch_latency, Tick kernel_ticks)
     }
     auto *graph = sim.create<TaskGraph>("sweep", queues);
 
-    std::vector<std::vector<TaskId>> grid(
-        n, std::vector<TaskId>(n));
-    for (int i = 0; i < n; ++i) {
-        for (int j = 0; j < n; ++j) {
-            std::vector<TaskId> deps;
-            if (i > 0)
-                deps.push_back(grid[i - 1][j]);
-            if (j > 0)
-                deps.push_back(grid[i][j - 1]);
-            // Round-robin the anti-diagonal across chiplets.
-            int agent = (i + j) % 8;
-            grid[i][j] = graph->addTask(kernel_ticks, agent, deps);
-        }
+    // Task ids are topological and dense in both layers, so the
+    // cluster-level DAG replays 1:1; the wavefront's layer is the
+    // anti-diagonal i+j, round-robined across chiplets.
+    for (const DagTask &t : dag.tasks()) {
+        std::vector<TaskId> deps;
+        for (const DagEdge &d : t.deps)
+            deps.push_back(d.task);
+        graph->addTask(kernel_ticks, t.layer % 8, deps);
     }
 
     sim.initAll();
@@ -74,14 +74,37 @@ runSweep(int n, Tick dispatch_latency, Tick kernel_ticks)
     return r;
 }
 
+/** Parse GRID_N: an integer in [2, 512] (the ring must fit n^2). */
+Expected<int>
+tryGridSize(const std::string &arg)
+{
+    std::optional<long long> n = parseInt(arg);
+    if (!n) {
+        return Status::invalidArgument("grid size '", arg,
+                                       "' is not an integer");
+    }
+    if (*n < 2 || *n > 512)
+        return Status::outOfRange("grid size must be in [2, 512], got ",
+                                  *n);
+    return static_cast<int>(*n);
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     int n = 24;
-    if (argc > 1)
-        n = std::stoi(argv[1]);
+    if (argc > 1) {
+        Expected<int> parsed = tryGridSize(argv[1]);
+        if (!parsed.ok()) {
+            std::cerr << "task_graph_scheduling: "
+                      << parsed.status().toString()
+                      << "\nUsage: task_graph_scheduling [GRID_N]\n";
+            return 2;
+        }
+        n = *parsed;
+    }
 
     const Tick kernel = 5 * tickPerUs;      // 5 us micro-kernels
     const Tick hsa = 200 * tickPerNs;       // user-mode dispatch
@@ -90,8 +113,12 @@ main(int argc, char **argv)
     std::cout << "2D wavefront sweep, " << n << "x" << n
               << " dependent 5-us kernels over 8 GPU queues\n\n";
 
-    RunResult h = runSweep(n, hsa, kernel);
-    RunResult l = runSweep(n, legacy, kernel);
+    // The cycle-level model carries its own kernel duration; the
+    // generator's flops/bytes are placeholders here.
+    TaskDag dag = TaskDag::wavefront(n, 1.0, 0.0, App::SNAP);
+
+    RunResult h = runSweep(dag, hsa, kernel);
+    RunResult l = runSweep(dag, legacy, kernel);
 
     TextTable t({"dispatch path", "latency", "makespan (us)",
                  "critical path (us)", "efficiency"});

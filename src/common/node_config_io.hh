@@ -45,9 +45,12 @@ tryNodeConfigFromConfig(const Config &cfg)
     };
     for (const std::string &key : cfg.keysWithPrefix("")) {
         // "cluster." keys describe the scale-out layer and are owned by
-        // clusterConfigFromConfig (src/cluster/cluster_config_io.hh), so
-        // one file can hold a full machine description.
-        if (key.rfind("cluster.", 0) == 0)
+        // clusterConfigFromConfig (src/cluster/cluster_config_io.hh);
+        // "taskgraph." keys describe the workload DAG and are owned by
+        // taskGraphSpecFromConfig (src/taskgraph/task_dag_io.hh). One
+        // file can hold a full machine + workload description.
+        if (key.rfind("cluster.", 0) == 0 ||
+            key.rfind("taskgraph.", 0) == 0)
             continue;
         bool ok = false;
         for (const char *k : known)

@@ -36,7 +36,8 @@ usage()
            "  sweep APP cus|freq|bw FROM TO STEP [CUS FREQ BW]\n"
            "  table2 [BUDGET_W]\n"
            "  cluster APP PATTERN [CONFIG_FILE]\n"
-           "  resilient APP PATTERN [CONFIG_FILE]\n";
+           "  resilient APP PATTERN [CONFIG_FILE]\n"
+           "  taskgraph [SCHEDULER] [CONFIG_FILE]\n";
     return 1;
 }
 
@@ -146,6 +147,19 @@ main(int argc, char **argv)
         return print(client.call(
             cmd == "cluster" ? "cluster_eval" : "resilient_eval",
             std::move(params)));
+    }
+
+    if (cmd == "taskgraph") {
+        wire::JsonValue params = wire::JsonValue::object();
+        if (argc > 3)
+            params.set("scheduler", argv[3]);
+        if (argc > 4) {
+            Expected<std::string> text = readFile(argv[4]);
+            if (!text.ok())
+                return fail(text.status());
+            params.set("config", *text);
+        }
+        return print(client.call("taskgraph_eval", std::move(params)));
     }
 
     return usage();

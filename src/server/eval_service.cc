@@ -7,6 +7,8 @@
 #include "cluster/cluster_config_io.hh"
 #include "cluster/resilient_cluster.hh"
 #include "cluster/resilient_cluster_io.hh"
+#include "taskgraph/scheduler.hh"
+#include "taskgraph/task_dag_io.hh"
 #include "common/node_config_io.hh"
 #include "core/dse.hh"
 #include "core/eval_memo.hh"
@@ -220,6 +222,8 @@ EvalService::dispatch(const std::string &op, const wire::JsonValue &req)
                 return opClusterEval(req);
             if (op == "resilient_eval")
                 return opResilientEval(req);
+            if (op == "taskgraph_eval")
+                return opTaskGraphEval(req);
             return Status::notFound("unknown op '", op, "'");
         } catch (const StatusError &e) {
             return e.status();
@@ -505,6 +509,53 @@ EvalService::opResilientEval(const wire::JsonValue &req)
     o.set("effective_exaflops", r.effectiveExaflops);
     o.set("system_mw", r.systemMw);
     o.set("effective_exaflops_per_mw", r.effectiveExaflopsPerMw());
+    return o;
+}
+
+Expected<wire::JsonValue>
+EvalService::opTaskGraphEval(const wire::JsonValue &req)
+{
+    ENA_ASSIGN_OR_RETURN(Config cfgText, configFromRequest(req));
+    ENA_ASSIGN_OR_RETURN(NodeConfig node,
+                         tryNodeConfigFromConfig(cfgText));
+    ENA_ASSIGN_OR_RETURN(ClusterConfig cluster,
+                         tryClusterConfigFromConfig(cfgText));
+    ENA_ASSIGN_OR_RETURN(TaskGraphSpec spec,
+                         tryTaskGraphSpecFromConfig(cfgText));
+    ENA_ASSIGN_OR_RETURN(
+        std::string sched,
+        wire::tryGetString(req, "scheduler",
+                           dagSchedulerName(DagScheduler::CriticalPath)));
+    ENA_ASSIGN_OR_RETURN(DagScheduler policy,
+                         tryDagSchedulerFromName(sched));
+    ENA_TRY(node.tryValidate());
+    ENA_TRY(cluster.tryValidate());
+
+    TaskDag dag = spec.build();
+    ENA_TRY(dag.tryValidate());
+    InterNodeNetwork net(cluster);
+    // Same memo path as every other op: node evaluations land in (and
+    // come from) the process-wide cache, bit-identical to local runs.
+    DagCostModel cost = DagCostModel::build(
+        dag, eval_, node, net, &EvalMemoCache::sharedInstance());
+    Schedule s = scheduleDag(dag, cost, policy, cluster.nodes);
+
+    JsonValue o = JsonValue::object();
+    o.set("dag", dag.label());
+    o.set("shape", dagShapeName(spec.shape));
+    o.set("app", appName(spec.app));
+    o.set("tasks", static_cast<double>(dag.size()));
+    o.set("edges", static_cast<double>(dag.numEdges()));
+    o.set("scheduler", dagSchedulerName(policy));
+    o.set("nodes", cluster.nodes);
+    o.set("makespan_seconds", s.makespanSeconds);
+    o.set("critical_path_seconds", criticalPathSeconds(dag, cost));
+    o.set("total_task_seconds", s.totalCompSeconds);
+    o.set("comm_seconds", s.totalCommSeconds);
+    o.set("edges_costed", static_cast<double>(s.edgesCosted));
+    o.set("speedup", s.speedup());
+    o.set("efficiency", s.efficiency());
+    o.set("utilization", s.utilization());
     return o;
 }
 

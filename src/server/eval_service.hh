@@ -13,9 +13,11 @@
  *              "error": {"code": "<error code name>", "message": "..."}}
  *
  * Operations: ping, stats, shutdown, eval_node, sweep, table2,
- * cluster_eval, resilient_eval. Config payloads reuse the repo's
- * "key = value" config-text format (Config::tryFromString) under a
- * "config" string parameter.
+ * cluster_eval, resilient_eval, taskgraph_eval. Config payloads reuse
+ * the repo's "key = value" config-text format (Config::tryFromString)
+ * under a "config" string parameter; taskgraph_eval reads the node,
+ * cluster, and taskgraph layers from one config text plus a
+ * "scheduler" parameter.
  *
  * Error discipline: every failure crosses this boundary as an
  * ena::Status mapped to a structured error response — handle() never
@@ -84,6 +86,7 @@ class EvalService
     Expected<wire::JsonValue> opTable2(const wire::JsonValue &req);
     Expected<wire::JsonValue> opClusterEval(const wire::JsonValue &req);
     Expected<wire::JsonValue> opResilientEval(const wire::JsonValue &req);
+    Expected<wire::JsonValue> opTaskGraphEval(const wire::JsonValue &req);
 
     NodeEvaluator eval_;
     std::function<std::size_t()> queueDepthProbe_;
