@@ -7,24 +7,80 @@
  */
 
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/ena.hh"
 #include "core/thermal_study.hh"
+#include "util/status.hh"
+#include "util/string_utils.hh"
 #include "util/table.hh"
 
 using namespace ena;
+
+namespace {
+
+constexpr const char *usage =
+    "Usage: quickstart [CUS [FREQ_GHZ [BW_TBS]]]";
+
+Expected<int>
+tryCus(const std::string &arg)
+{
+    std::optional<long long> n = parseInt(arg);
+    if (!n)
+        return Status::invalidArgument("CU count '", arg,
+                                       "' is not an integer");
+    if (*n < 1 || *n > 4096)
+        return Status::outOfRange("CU count must be in [1, 4096], got ",
+                                  *n);
+    return static_cast<int>(*n);
+}
+
+Expected<double>
+tryPositive(const std::string &arg, const char *what)
+{
+    std::optional<double> v = parseDouble(arg);
+    if (!v)
+        return Status::invalidArgument(what, " '", arg,
+                                       "' is not a number");
+    if (*v <= 0.0)
+        return Status::outOfRange(what, " must be positive, got ", *v);
+    return *v;
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     NodeConfig cfg = NodeConfig::bestMean();
-    if (argc > 1)
-        cfg.cus = std::stoi(argv[1]);
-    if (argc > 2)
-        cfg.freqGhz = std::stod(argv[2]);
-    if (argc > 3)
-        cfg.bwTbs = std::stod(argv[3]);
+    if (argc > 1) {
+        Expected<int> cus = tryCus(argv[1]);
+        if (!cus.ok()) {
+            std::cerr << "quickstart: " << cus.status().toString()
+                      << "\n" << usage << "\n";
+            return 2;
+        }
+        cfg.cus = *cus;
+    }
+    if (argc > 2) {
+        Expected<double> f = tryPositive(argv[2], "frequency (GHz)");
+        if (!f.ok()) {
+            std::cerr << "quickstart: " << f.status().toString() << "\n"
+                      << usage << "\n";
+            return 2;
+        }
+        cfg.freqGhz = *f;
+    }
+    if (argc > 3) {
+        Expected<double> bw = tryPositive(argv[3], "bandwidth (TB/s)");
+        if (!bw.ok()) {
+            std::cerr << "quickstart: " << bw.status().toString() << "\n"
+                      << usage << "\n";
+            return 2;
+        }
+        cfg.bwTbs = *bw;
+    }
     cfg.validate();
 
     NodeEvaluator eval;

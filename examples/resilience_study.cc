@@ -8,22 +8,50 @@
  */
 
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/ena.hh"
 #include "ras/checkpoint.hh"
 #include "ras/fault_model.hh"
 #include "ras/rmt.hh"
+#include "util/status.hh"
+#include "util/string_utils.hh"
 #include "util/table.hh"
 
 using namespace ena;
+
+namespace {
+
+Expected<int>
+tryNodeCount(const std::string &arg)
+{
+    std::optional<long long> n = parseInt(arg);
+    if (!n)
+        return Status::invalidArgument("node count '", arg,
+                                       "' is not an integer");
+    if (*n < 1 || *n > 10'000'000)
+        return Status::outOfRange(
+            "node count must be in [1, 10000000], got ", *n);
+    return static_cast<int>(*n);
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     int nodes = cal::numSystemNodes;
-    if (argc > 1)
-        nodes = std::stoi(argv[1]);
+    if (argc > 1) {
+        Expected<int> parsed = tryNodeCount(argv[1]);
+        if (!parsed.ok()) {
+            std::cerr << "resilience_study: "
+                      << parsed.status().toString()
+                      << "\nUsage: resilience_study [NODES]\n";
+            return 2;
+        }
+        nodes = *parsed;
+    }
 
     NodeConfig cfg = NodeConfig::bestMean();
     FaultModel fm({true, true, true, 2.0});

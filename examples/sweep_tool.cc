@@ -23,12 +23,15 @@
  */
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/ena.hh"
 #include "server/client.hh"
+#include "util/status.hh"
+#include "util/string_utils.hh"
 #include "util/thread_pool.hh"
 
 using namespace ena;
@@ -36,11 +39,35 @@ using namespace ena;
 namespace {
 
 int
-usage()
+usage(const Status &why)
 {
-    std::cerr << "usage: sweep_tool [--server ENDPOINT] APP cus|freq|bw "
-                 "FROM TO STEP [CUS FREQ BW]\n";
-    return 1;
+    std::cerr << "sweep_tool: " << why.toString()
+              << "\nusage: sweep_tool [--server ENDPOINT] APP "
+                 "cus|freq|bw FROM TO STEP [CUS FREQ BW]\n";
+    return 2;
+}
+
+Expected<double>
+tryNumber(const std::string &arg, const char *what)
+{
+    std::optional<double> v = parseDouble(arg);
+    if (!v)
+        return Status::invalidArgument(what, " '", arg,
+                                       "' is not a number");
+    return *v;
+}
+
+Expected<int>
+tryCus(const std::string &arg)
+{
+    std::optional<long long> n = parseInt(arg);
+    if (!n)
+        return Status::invalidArgument("CU count '", arg,
+                                       "' is not an integer");
+    if (*n < 1 || *n > 4096)
+        return Status::outOfRange("CU count must be in [1, 4096], got ",
+                                  *n);
+    return static_cast<int>(*n);
 }
 
 } // anonymous namespace
@@ -59,24 +86,44 @@ main(int argc, char **argv)
     }
 
     if (args.size() < 5)
-        return usage();
+        return usage(Status::invalidArgument(
+            "expected at least 5 positional arguments, got ",
+            args.size()));
 
     App app = appFromName(args[0]);
     std::string axis = args[1];
-    double from = std::stod(args[2]);
-    double to = std::stod(args[3]);
-    double step = std::stod(args[4]);
-    if (step <= 0.0 || to < from)
-        return usage();
+    Expected<double> from = tryNumber(args[2], "FROM");
+    if (!from.ok())
+        return usage(from.status());
+    Expected<double> to = tryNumber(args[3], "TO");
+    if (!to.ok())
+        return usage(to.status());
+    Expected<double> step = tryNumber(args[4], "STEP");
+    if (!step.ok())
+        return usage(step.status());
+    if (*step <= 0.0 || *to < *from)
+        return usage(Status::outOfRange(
+            "need STEP > 0 and TO >= FROM, got FROM=", *from,
+            " TO=", *to, " STEP=", *step));
     if (axis != "cus" && axis != "freq" && axis != "bw")
-        return usage();
+        return usage(Status::invalidArgument("unknown axis '", axis,
+                                             "'"));
 
     NodeConfig base = NodeConfig::bestMean();
     bool haveBase = args.size() > 7;
     if (haveBase) {
-        base.cus = std::stoi(args[5]);
-        base.freqGhz = std::stod(args[6]);
-        base.bwTbs = std::stod(args[7]);
+        Expected<int> cus = tryCus(args[5]);
+        if (!cus.ok())
+            return usage(cus.status());
+        base.cus = *cus;
+        Expected<double> freq = tryNumber(args[6], "FREQ");
+        if (!freq.ok())
+            return usage(freq.status());
+        base.freqGhz = *freq;
+        Expected<double> bw = tryNumber(args[7], "BW");
+        if (!bw.ok())
+            return usage(bw.status());
+        base.bwTbs = *bw;
     }
 
     std::vector<std::string> rows;
@@ -91,7 +138,8 @@ main(int argc, char **argv)
         opts.endpoint = *ep;
         ServerClient client(opts);
         Expected<std::vector<SweepPoint>> points = client.sweepAxis(
-            args[0], axis, from, to, step, haveBase ? &base : nullptr);
+            args[0], axis, *from, *to, *step,
+            haveBase ? &base : nullptr);
         if (!points.ok()) {
             std::cerr << "sweep_tool: " << points.status().toString()
                       << "\n";
@@ -111,7 +159,7 @@ main(int argc, char **argv)
         }
     } else {
         std::vector<double> values;
-        for (double v = from; v <= to + 1e-9; v += step)
+        for (double v = *from; v <= *to + 1e-9; v += *step)
             values.push_back(v);
 
         // Evaluate every point on the process-wide pool (ENA_THREADS)

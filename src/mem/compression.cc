@@ -50,7 +50,11 @@ bdiAttempt(const CacheLine &line, size_t k, size_t d)
     for (size_t i = 1; i < n; ++i) {
         std::int64_t v = 0;
         std::memcpy(&v, line.data() + i * k, k);
-        std::int64_t delta = v - base;
+        // Wrapped (two's-complement) difference: full-width values may
+        // straddle the signed range, where `v - base` would overflow.
+        auto delta = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(v) -
+            static_cast<std::uint64_t>(base));
         if (!fitsSigned(delta, static_cast<int>(d * 8)))
             return 64;
     }

@@ -56,21 +56,29 @@ DetailedNetwork::send(const Packet &pkt)
     const TopologyNode &src = topo_.node(pkt.src);
     Packet copy = pkt;
     std::uint32_t r = src.router;
+    auto inject = [this, copy, r] {
+        // Injection contends for the router's injection-port
+        // buffer like any other input.
+        PortKey port{r, injectPort};
+        if (occ_[port] >= params_.bufferPackets) {
+            ++statBufferStalls_;
+            waiting_[port].push_back({copy, r, injectPort, 0});
+            return;
+        }
+        ++occ_[port];
+        arriveAtRouter(copy, r, injectPort, 0);
+    };
+    if (sim().crossesDomain(domain())) {
+        // TSV descent doubles as the cross-domain channel, exactly as
+        // in the virtual-circuit model.
+        sim().postCrossDomain(
+            domain(), sim().now() + params_.tsvCycles * params_.cycle(),
+            std::move(inject), "inject");
+        return;
+    }
     eventq().scheduleLambda(
         curTick() + params_.tsvCycles * params_.cycle(),
-        [this, copy, r] {
-            // Injection contends for the router's injection-port
-            // buffer like any other input.
-            PortKey port{r, injectPort};
-            if (occ_[port] >= params_.bufferPackets) {
-                ++statBufferStalls_;
-                waiting_[port].push_back({copy, r, injectPort, 0});
-                return;
-            }
-            ++occ_[port];
-            arriveAtRouter(copy, r, injectPort, 0);
-        },
-        "inject");
+        std::move(inject), "inject");
 }
 
 void

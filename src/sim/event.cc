@@ -8,14 +8,14 @@ Event::~Event() = default;
 
 EventQueue::~EventQueue()
 {
-    // Free any still-pending self-deleting lambda wrappers.
-    while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        bool live = e.event->scheduled_ && e.event->seq_ == e.seq;
-        if (live && e.event->selfDeleting_)
-            delete e.event;
-    }
+    // Free every self-deleting lambda wrapper the queue still owns —
+    // live, descheduled, or rescheduled. The ownership set, not the
+    // heap, is walked: heap entries can reference caller-owned events
+    // whose owners were already destroyed, and a rescheduled wrapper
+    // appears under several entries, so inspecting entries would read
+    // dead objects and double-free.
+    for (Event *ev : managed_)
+        delete ev;
 }
 
 void
@@ -29,6 +29,7 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->when_ = when;
     ev->seq_ = nextSeq_++;
     ev->scheduled_ = true;
+    ++ev->heapRefs_;
     heap_.push(Entry{when, ev->seq_, ev});
     ++liveCount_;
 }
@@ -50,13 +51,15 @@ EventQueue::reschedule(Event *ev, Tick when)
     schedule(ev, when);
 }
 
-void
+EventFunctionWrapper *
 EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
                            std::string desc)
 {
     auto *ev = new EventFunctionWrapper(std::move(fn), std::move(desc));
     ev->selfDeleting_ = true;
+    managed_.insert(ev);
     schedule(ev, when);
+    return ev;
 }
 
 void
@@ -64,12 +67,18 @@ EventQueue::skim() const
 {
     while (!heap_.empty()) {
         const Entry &e = heap_.top();
-        bool live = e.event->scheduled_ && e.event->seq_ == e.seq;
-        if (live)
+        Event *ev = e.event;
+        if (ev->scheduled_ && ev->seq_ == e.seq)
             return;
-        if (e.event->selfDeleting_ && !e.event->scheduled_)
-            delete e.event;
+        // Stale entry (descheduled or rescheduled). A self-deleting
+        // wrapper is freed only once its last heap reference is gone,
+        // so every pointer reached here is still alive.
         heap_.pop();
+        if (--ev->heapRefs_ == 0 && ev->selfDeleting_ &&
+            !ev->scheduled_) {
+            managed_.erase(ev);
+            delete ev;
+        }
     }
 }
 
@@ -80,6 +89,13 @@ EventQueue::nextTick() const
     if (heap_.empty())
         ENA_FATAL("nextTick() on empty event queue");
     return heap_.top().when;
+}
+
+Tick
+EventQueue::nextTickOr(Tick fallback) const
+{
+    skim();
+    return heap_.empty() ? fallback : heap_.top().when;
 }
 
 bool
@@ -95,12 +111,17 @@ EventQueue::serviceOne()
     curTick_ = e.when;
 
     Event *ev = e.event;
+    --ev->heapRefs_;
     ev->scheduled_ = false;
     --liveCount_;
     ++processed_;
     ev->process();
-    if (ev->selfDeleting_ && !ev->scheduled_)
+    // Deferred while stale reschedule entries still reference the
+    // wrapper; the last one to pop (in skim) frees it instead.
+    if (ev->selfDeleting_ && !ev->scheduled_ && ev->heapRefs_ == 0) {
+        managed_.erase(ev);
         delete ev;
+    }
     return true;
 }
 
@@ -115,7 +136,21 @@ EventQueue::run(Tick limit)
         serviceOne();
         ++n;
     }
+    // A bounded run simulates the whole window [entry tick, limit]:
+    // even when the queue drains early or the next event lies past the
+    // limit, time advances to the window boundary so that repeated
+    // run(limit) segments (the PDES barrier pattern) observe monotone,
+    // non-stale time. An unbounded run keeps the last event's tick.
+    if (limit != maxTick && curTick_ < limit)
+        curTick_ = limit;
     return n;
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    if (when > curTick_)
+        curTick_ = when;
 }
 
 } // namespace ena

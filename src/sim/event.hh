@@ -18,6 +18,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "util/units.hh"
@@ -25,6 +26,10 @@
 namespace ena {
 
 class EventQueue;
+class EventFunctionWrapper;
+
+/** Sentinel "no limit" tick for bounded runs. */
+constexpr Tick maxTick = ~Tick(0);
 
 /** An occurrence scheduled at a future tick. */
 class Event
@@ -53,6 +58,9 @@ class Event
 
     Tick when_ = 0;
     std::uint64_t seq_ = 0;
+    /** Heap entries (live + stale) referencing this event; a
+     *  self-deleting wrapper stays alive until its last one pops. */
+    std::uint32_t heapRefs_ = 0;
     bool scheduled_ = false;
     bool selfDeleting_ = false;
 };
@@ -101,10 +109,13 @@ class EventQueue
 
     /**
      * Schedule a one-shot callable; the kernel allocates and later frees
-     * the wrapper event.
+     * the wrapper event. The returned pointer stays valid until the
+     * wrapper fires (or the queue dies) and may be passed to
+     * deschedule(); callers normally ignore it.
      */
-    void scheduleLambda(Tick when, std::function<void()> fn,
-                        std::string desc = "lambda event");
+    EventFunctionWrapper *scheduleLambda(Tick when,
+                                         std::function<void()> fn,
+                                         std::string desc = "lambda event");
 
     /** True when no live events remain. */
     bool empty() const { return liveCount_ == 0; }
@@ -112,14 +123,24 @@ class EventQueue
     /** Tick of the next live event; fatal() when empty. */
     Tick nextTick() const;
 
+    /** Tick of the next live event, or @p fallback when empty. */
+    Tick nextTickOr(Tick fallback) const;
+
+    /** Move time forward to @p when with no event processing (never
+     *  backwards); used by windowed multi-queue execution. */
+    void advanceTo(Tick when);
+
     /** Execute the single next event; returns false when queue empty. */
     bool serviceOne();
 
     /**
      * Run until the queue drains or simulated time would pass @p limit.
-     * Returns the number of events processed.
+     * Returns the number of events processed. A bounded run leaves
+     * curTick() == limit (the whole window was simulated even if no
+     * event occupied its tail); an unbounded run leaves curTick() at
+     * the last executed event.
      */
-    std::uint64_t run(Tick limit = ~Tick(0));
+    std::uint64_t run(Tick limit = maxTick);
 
     /** Total events executed over the queue's lifetime. */
     std::uint64_t eventsProcessed() const { return processed_; }
@@ -147,6 +168,10 @@ class EventQueue
     void skim() const;
 
     mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Live queue-owned (self-deleting) wrappers; the destructor frees
+     *  exactly this set and never inspects heap entries, which may
+     *  reference caller-owned events already destroyed. */
+    mutable std::unordered_set<Event *> managed_;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t liveCount_ = 0;

@@ -6,7 +6,7 @@
 namespace ena {
 
 SimObject::SimObject(Simulation &sim, std::string name)
-    : sim_(sim), name_(std::move(name))
+    : sim_(sim), name_(std::move(name)), domain_(sim.buildDomain())
 {
     ENA_ASSERT(!name_.empty(), "SimObject requires a name");
 }
@@ -14,7 +14,7 @@ SimObject::SimObject(Simulation &sim, std::string name)
 EventQueue &
 SimObject::eventq() const
 {
-    return sim_.eventq();
+    return sim_.eventq(domain_);
 }
 
 StatRegistry &
@@ -26,7 +26,7 @@ SimObject::stats() const
 Tick
 SimObject::curTick() const
 {
-    return sim_.eventq().curTick();
+    return eventq().curTick();
 }
 
 void

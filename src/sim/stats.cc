@@ -40,6 +40,10 @@ StatDistribution::StatDistribution(StatRegistry &registry, std::string name,
 void
 StatDistribution::sample(double v, std::uint64_t count)
 {
+    // A zero-count sample contributes nothing; in particular it must
+    // not poison min_/max_ with a value no real sample ever took.
+    if (count == 0)
+        return;
     if (samples_ == 0) {
         min_ = v;
         max_ = v;

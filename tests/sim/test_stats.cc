@@ -144,6 +144,26 @@ TEST(Stats, ResetAll)
     EXPECT_DOUBLE_EQ(b.value(), 0.0);
 }
 
+TEST(Stats, DistributionIgnoresZeroCountSamples)
+{
+    // Regression: sample(v, 0) must contribute nothing — before the
+    // fix it poisoned min/max (and the overflow bucket) with a value
+    // no real sample ever took.
+    StatRegistry reg;
+    StatDistribution d(reg, "d", "x", 0.0, 100.0, 10);
+    d.sample(5000.0, 0);
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_EQ(d.overflows(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+
+    d.sample(5.0, 2);
+    d.sample(-3.0, 0); // still ignored after real samples exist
+    EXPECT_EQ(d.samples(), 2u);
+    EXPECT_DOUBLE_EQ(d.minSample(), 5.0);
+    EXPECT_DOUBLE_EQ(d.maxSample(), 5.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+}
+
 TEST(StatsDeathTest, ValueOfMissingStatIsFatal)
 {
     StatRegistry reg;
